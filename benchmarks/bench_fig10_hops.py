@@ -1,0 +1,16 @@
+"""Fig. 10 bench — score and runtime versus the h-hop size."""
+
+from repro.experiments import active_scale, format_fig10, run_fig10
+
+
+def test_fig10_hop_study(bench_once):
+    scale = active_scale()
+    rows = bench_once(run_fig10, scale=scale, hops=(1, 2, 3))
+    print()
+    print(format_fig10(rows))
+
+    by_h = {r.h: r for r in rows}
+    # Shape: the jump from h=1 to h>=2 dominates (paper Sec. IV).
+    assert by_h[3].accuracy >= by_h[1].accuracy - 0.05
+    # Shape: runtime grows with neighbourhood size.
+    assert by_h[3].runtime_seconds > by_h[1].runtime_seconds

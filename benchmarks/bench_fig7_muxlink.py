@@ -1,0 +1,20 @@
+"""Fig. 7 bench — MuxLink AC/PC/KPA grid plus the paper's summary row."""
+
+from repro.core.metrics import aggregate_metrics
+from repro.experiments import active_scale, format_fig7, run_fig7, summarize_fig7
+
+
+def test_fig7_muxlink_grid(bench_once):
+    scale = active_scale()
+    records = bench_once(run_fig7, scale=scale)
+    print()
+    print(format_fig7(records))
+
+    summary = summarize_fig7(records)
+    # Shape: MuxLink clearly beats the 50% random-guess floor overall.
+    assert summary["kpa"] > 0.6, summary
+    assert summary["precision"] > 0.6, summary
+
+    # Shape: every individual cell decides most bits (attack functioning).
+    pooled = aggregate_metrics([r.metrics for r in records])
+    assert pooled.decision_rate > 0.5

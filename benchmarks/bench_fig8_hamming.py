@@ -1,0 +1,16 @@
+"""Fig. 8 bench — Hamming distance of recovered D-MUX designs."""
+
+from repro.experiments import active_scale, format_fig8, run_fig8
+
+
+def test_fig8_recovered_hamming_distance(bench_once):
+    scale = active_scale()
+    rows = bench_once(run_fig8, scale=scale)
+    print()
+    print(format_fig8(rows))
+
+    # Shape: recovered designs are far below the 50% corruption target
+    # (paper average: 3.39%).
+    avg = sum(r.hamming_distance for r in rows) / len(rows)
+    assert avg < 0.25, [r.hamming_distance for r in rows]
+    assert all(r.hamming_distance < 0.4 for r in rows)

@@ -1,0 +1,27 @@
+"""Fig. 9 bench — score trade-off across the post-processing threshold."""
+
+from repro.experiments import active_scale, format_fig9, run_fig9
+from repro.locking import DMUX_SCHEME
+
+
+def test_fig9_threshold_sweep(bench_once):
+    scale = active_scale()
+    rows = bench_once(
+        run_fig9, scale=scale,
+        thresholds=(0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0),
+    )
+    print()
+    print(format_fig9(rows))
+
+    for scheme_rows in (
+        [r for r in rows if r.scheme == DMUX_SCHEME],
+        [r for r in rows if r.scheme != DMUX_SCHEME],
+    ):
+        by_th = sorted(scheme_rows, key=lambda r: r.threshold)
+        precisions = [r.precision for r in by_th]
+        decisions = [r.decision_rate for r in by_th]
+        # Shape: precision weakly increases with th; decided ratio falls.
+        assert all(b >= a - 1e-9 for a, b in zip(precisions, precisions[1:]))
+        assert all(b <= a + 1e-9 for a, b in zip(decisions, decisions[1:]))
+        # th = 1 forces full abstention -> PC = 100%.
+        assert by_th[-1].precision == 1.0

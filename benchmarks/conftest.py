@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Each bench regenerates one figure of the paper at CI scale (set
+``REPRO_EXPERIMENT_SCALE=paper`` for the full-size protocol) and prints the
+paper-style table to stdout; run with ``pytest benchmarks/ --benchmark-only -s``
+to see the tables.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Figure regeneration takes seconds to minutes; statistical repetition
+    would multiply that for no insight, so every bench uses one round.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

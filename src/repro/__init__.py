@@ -1,0 +1,76 @@
+"""MuxLink reproduction — GNN link-prediction attack on MUX-based locking.
+
+Reproduces Alrahis et al., "MuxLink: Circumventing Learning-Resilient
+MUX-Locking Using Graph Neural Network-based Link Prediction" (DATE 2022).
+
+Quickstart::
+
+    from repro import load_benchmark, lock_dmux, run_muxlink, score_key
+
+    base = load_benchmark("c1355", scale=0.3)
+    locked = lock_dmux(base, key_size=32, seed=1)
+    result = run_muxlink(locked.circuit)
+    print(score_key(result.predicted_key, locked.key).kpa)
+"""
+
+from repro.benchgen import (
+    benchmark_names,
+    load_benchmark,
+    load_c17,
+    random_netlist,
+)
+from repro.core import (
+    KeyMetrics,
+    MuxLinkConfig,
+    MuxLinkResult,
+    aggregate_metrics,
+    hamming_with_x,
+    recover_design,
+    rescore_key,
+    run_muxlink,
+    score_key,
+)
+from repro.linkpred import TrainConfig
+from repro.locking import (
+    LockedCircuit,
+    apply_key,
+    lock_dmux,
+    lock_naive_mux,
+    lock_symmetric,
+    lock_xor,
+)
+from repro.netlist import Circuit, Gate, GateType, load_bench, parse_bench, write_bench
+from repro.sim import hamming_distance
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "GateType",
+    "parse_bench",
+    "load_bench",
+    "write_bench",
+    "load_benchmark",
+    "load_c17",
+    "random_netlist",
+    "benchmark_names",
+    "LockedCircuit",
+    "lock_dmux",
+    "lock_symmetric",
+    "lock_naive_mux",
+    "lock_xor",
+    "apply_key",
+    "MuxLinkConfig",
+    "MuxLinkResult",
+    "TrainConfig",
+    "run_muxlink",
+    "rescore_key",
+    "KeyMetrics",
+    "score_key",
+    "aggregate_metrics",
+    "recover_design",
+    "hamming_with_x",
+    "hamming_distance",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Baseline oracle-less attacks: SAAM, SCOPE, SWEEP, random guess."""
+
+from repro.attacks.random_guess import random_guess_attack
+from repro.attacks.saam import SaamReport, saam_attack
+from repro.attacks.scope import ScopeReport, scope_attack
+from repro.attacks.sweep import SweepAttack, SweepReport
+
+__all__ = [
+    "saam_attack",
+    "SaamReport",
+    "scope_attack",
+    "ScopeReport",
+    "SweepAttack",
+    "SweepReport",
+    "random_guess_attack",
+]

@@ -1,0 +1,29 @@
+"""Random-guess reference attack (the 50 % KPA floor)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AttackError
+from repro.locking.keys import key_input_index, key_inputs_of
+from repro.netlist import Circuit
+
+__all__ = ["random_guess_attack"]
+
+
+def random_guess_attack(circuit: Circuit, seed: int = 0) -> str:
+    """Guess every key bit uniformly at random.
+
+    Any attack whose KPA is statistically indistinguishable from this
+    baseline has been defeated by the locking scheme.
+    """
+    key_nets = key_inputs_of(circuit)
+    if not key_nets:
+        raise AttackError("no key inputs found; is this netlist locked?")
+    n_bits = max(key_input_index(k) for k in key_nets) + 1
+    rng = np.random.default_rng(seed)
+    present = {key_input_index(k) for k in key_nets}
+    return "".join(
+        str(int(rng.integers(2))) if i in present else "x"
+        for i in range(n_bits)
+    )

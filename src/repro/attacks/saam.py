@@ -1,0 +1,70 @@
+"""SAAM — structural analysis attack on MUX-based locking.
+
+For each key bit, hard-code both values and re-synthesize.  If one value
+leaves part of the design dangling (circuit reduction), that value is wrong:
+the locking MUX disconnected a true logic cone.  Naive MUX locking falls to
+this immediately; D-MUX and symmetric locking are immune by construction
+(paper Sec. I-A2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AttackError
+from repro.locking.keys import key_input_index, key_inputs_of
+from repro.netlist import Circuit
+from repro.opt import propagate_constants, remove_dead_logic
+
+__all__ = ["saam_attack", "SaamReport"]
+
+
+@dataclass(frozen=True)
+class SaamReport:
+    """Outcome of a SAAM run.
+
+    Attributes:
+        predicted_key: per-bit guesses, ``x`` where no reduction was seen.
+        reductions: ``(bit, value) → number of gates removed`` when that
+            value is hard-coded.
+    """
+
+    predicted_key: str
+    reductions: dict[tuple[int, int], int]
+
+
+def saam_attack(circuit: Circuit) -> SaamReport:
+    """Run SAAM on a locked netlist.
+
+    Args:
+        circuit: the locked design (key inputs follow the ``keyinput<i>``
+            convention).
+
+    Returns:
+        A :class:`SaamReport`; a key bit is decided only when exactly one
+        of its two values causes circuit reduction.
+    """
+    key_nets = key_inputs_of(circuit)
+    if not key_nets:
+        raise AttackError("no key inputs found; is this netlist locked?")
+    n_bits = max(key_input_index(k) for k in key_nets) + 1
+
+    reductions: dict[tuple[int, int], int] = {}
+    guesses: dict[int, str] = {}
+    for key_net in key_nets:
+        bit = key_input_index(key_net)
+        removed_by_value: dict[int, int] = {}
+        for value in (0, 1):
+            simplified = propagate_constants(circuit, {key_net: value})
+            _, removed = remove_dead_logic(simplified)
+            removed_by_value[value] = removed
+            reductions[(bit, value)] = removed
+        if removed_by_value[0] > 0 and removed_by_value[1] == 0:
+            guesses[bit] = "1"  # value 0 provably wrong
+        elif removed_by_value[1] > 0 and removed_by_value[0] == 0:
+            guesses[bit] = "0"
+        else:
+            guesses[bit] = "x"
+
+    predicted = "".join(guesses.get(i, "x") for i in range(n_bits))
+    return SaamReport(predicted_key=predicted, reductions=reductions)

@@ -1,0 +1,237 @@
+"""Seeded random netlist generators.
+
+The original ISCAS-85 / ITC-99 BENCH files are not redistributable in this
+offline environment, so the suite in :mod:`repro.benchgen.suites` is built on
+the deterministic generator below.  The generator produces random-logic DAGs
+with controllable size and fan-out statistics — the same family of circuits
+as the *random netlist test* (RNT) that the D-MUX paper itself uses to judge
+learning resilience, which is why it exercises the identical attack surface.
+
+Three properties matter for faithfulness to the reproduced experiments:
+
+* **no dangling nets** — every generated net is either loaded or a primary
+  output, so the no-circuit-reduction guarantee of D-MUX (and the SAAM
+  reduction signal) is meaningful;
+* **realistic fan-out** — a tunable fraction of nets drive several loads,
+  giving the locking strategies S1–S3 their required multi-output nodes;
+* **local structure** — fan-ins are biased towards recently created nets so
+  that h-hop neighbourhoods look like logic cones, not random graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.netlist import Circuit, Gate, GateType
+
+__all__ = ["GeneratorConfig", "random_circuit", "and_netlist", "random_netlist"]
+
+#: Default gate mix for random logic (loosely follows ISCAS-85 profiles:
+#: NAND/NOR-heavy with a sprinkle of XOR and inverters).
+_DEFAULT_GATE_WEIGHTS: dict[GateType, float] = {
+    GateType.NAND: 0.28,
+    GateType.NOR: 0.14,
+    GateType.AND: 0.16,
+    GateType.OR: 0.12,
+    GateType.XOR: 0.07,
+    GateType.XNOR: 0.05,
+    GateType.NOT: 0.13,
+    GateType.BUF: 0.05,
+}
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Parameters of the random-circuit generator.
+
+    Attributes:
+        n_inputs: number of primary inputs.
+        n_outputs: number of primary outputs requested (the generator may add
+            a few more to absorb otherwise-dangling nets).
+        n_gates: number of gates.
+        gate_weights: sampling distribution over gate types.
+        locality_window: fan-ins are drawn from the most recent
+            ``locality_window`` nets with probability ``locality_bias``.
+        locality_bias: see above; the remainder is drawn uniformly.
+        reuse_bias: probability of steering a fan-in pick towards a net that
+            is not yet loaded (keeps the dangling set small).
+        reconvergence_bias: probability that a secondary fan-in is drawn
+            from the *loads* of the first fan-in, creating the reconvergent
+            (triangle-closing) structure real logic cones exhibit.  This is
+            the property link prediction feeds on: removing a true wire
+            leaves its endpoints connected through short alternative paths.
+    """
+
+    n_inputs: int
+    n_outputs: int
+    n_gates: int
+    gate_weights: dict[GateType, float] = field(
+        default_factory=lambda: dict(_DEFAULT_GATE_WEIGHTS)
+    )
+    locality_window: int = 12
+    locality_bias: float = 0.95
+    reuse_bias: float = 0.35
+    reconvergence_bias: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 1 or self.n_gates < 1 or self.n_outputs < 1:
+            raise ValueError("n_inputs, n_outputs, n_gates must be positive")
+
+
+def random_circuit(name: str, config: GeneratorConfig, seed: int) -> Circuit:
+    """Generate a deterministic random netlist.
+
+    The same ``(config, seed)`` pair always yields the identical circuit,
+    which is what makes the stand-in benchmark suite reproducible.
+    """
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(name, inputs=[f"I{i}" for i in range(config.n_inputs)])
+
+    gate_types = list(config.gate_weights.keys())
+    weights = np.array([config.gate_weights[g] for g in gate_types], dtype=float)
+    weights /= weights.sum()
+
+    nets: list[str] = list(circuit.inputs)
+    # Insertion-ordered stand-in for a set: plain set iteration depends on
+    # the per-process hash seed and would break cross-process determinism.
+    unloaded: dict[str, None] = dict.fromkeys(nets)
+
+    def pick_input(exclude: set[str]) -> str:
+        # Prefer an unloaded net to keep the dangling set small.
+        if unloaded and rng.random() < config.reuse_bias:
+            pool = [n for n in unloaded if n not in exclude]
+            if pool:
+                return pool[int(rng.integers(len(pool)))]
+        if rng.random() < config.locality_bias and len(nets) > config.locality_window:
+            window = nets[-config.locality_window :]
+        else:
+            window = nets
+        pool = [n for n in window if n not in exclude]
+        if not pool:
+            pool = [n for n in nets if n not in exclude] or nets
+        return pool[int(rng.integers(len(pool)))]
+
+    # Structural signatures already used: duplicate (type, inputs) gates
+    # compute identical functions, which would make locking decoys
+    # functionally interchangeable with true wires.
+    signatures: set[tuple] = set()
+
+    for idx in range(config.n_gates):
+        for _attempt in range(6):
+            gate_type = gate_types[int(rng.choice(len(gate_types), p=weights))]
+            if gate_type in (GateType.NOT, GateType.BUF):
+                arity = 1
+            else:
+                arity = 2 if rng.random() < 0.85 else 3
+            chosen: list[str] = [pick_input(exclude=set())]
+            for _ in range(arity - 1):
+                net = None
+                if rng.random() < config.reconvergence_bias:
+                    # Triangle closure: feed this gate from a load of its
+                    # first input, so the new wires have short alternative
+                    # paths.
+                    loads = [
+                        g
+                        for g in circuit.fanout(chosen[0])
+                        if g not in chosen
+                    ]
+                    if loads:
+                        net = loads[int(rng.integers(len(loads)))]
+                if net is None:
+                    net = pick_input(exclude=set(chosen))
+                chosen.append(net)
+            signature = (gate_type, tuple(sorted(chosen)))
+            if signature not in signatures:
+                break
+        signatures.add(signature)
+        gate_name = f"N{idx}"
+        circuit.add_gate(Gate(gate_name, gate_type, tuple(chosen)))
+        for net in chosen:
+            unloaded.pop(net, None)
+        nets.append(gate_name)
+        unloaded[gate_name] = None
+
+    _absorb_unused_inputs(circuit, rng)
+
+    # Primary outputs: absorb every dangling gate net, then top up with
+    # random distinct gate nets until the requested count is reached.
+    dangling = [
+        n
+        for n in circuit.gate_names
+        if circuit.fanout_size(n) == 0
+    ]
+    outputs = list(dangling)
+    remaining = [n for n in circuit.gate_names if n not in set(outputs)]
+    rng.shuffle(remaining)
+    for net in remaining:
+        if len(outputs) >= config.n_outputs:
+            break
+        outputs.append(net)
+    for po in outputs:
+        circuit.add_output(po)
+    circuit.validate()
+    return circuit
+
+
+def _absorb_unused_inputs(circuit: Circuit, rng: np.random.Generator) -> None:
+    """Guarantee every primary input drives at least one gate.
+
+    Unused inputs are wired in by stealing one load from a net that has
+    several (so the donor never becomes dangling).  When no such donor
+    exists the input is absorbed by a fresh 2-input gate, which the caller
+    then exposes as a primary output.
+    """
+    for pi in circuit.inputs:
+        if circuit.fanout_size(pi) > 0:
+            continue
+        donors = [
+            (gate.name, net)
+            for gate in circuit.gates
+            for net in gate.inputs
+            if net != pi and circuit.fanout_size(net) >= 2
+            and gate.gate_type is not GateType.MUX
+        ]
+        if donors:
+            gate_name, net = donors[int(rng.integers(len(donors)))]
+            circuit.rewire_input(gate_name, net, pi)
+        else:
+            other = circuit.nets[int(rng.integers(len(circuit.nets)))]
+            circuit.add_gate(
+                Gate(circuit.fresh_name(f"ABS_{pi}"), GateType.OR, (pi, other))
+            )
+
+
+def random_netlist(
+    name: str,
+    n_inputs: int,
+    n_outputs: int,
+    n_gates: int,
+    seed: int = 0,
+) -> Circuit:
+    """RNT-style circuit: randomly selected, well-distributed gate types."""
+    config = GeneratorConfig(n_inputs=n_inputs, n_outputs=n_outputs, n_gates=n_gates)
+    return random_circuit(name, config, seed)
+
+
+def and_netlist(
+    name: str,
+    n_inputs: int,
+    n_outputs: int,
+    n_gates: int,
+    seed: int = 0,
+) -> Circuit:
+    """ANT-style circuit: synthesized from a single gate type (AND).
+
+    Used by the *AND netlist test* of the D-MUX paper — a locking scheme that
+    leaks key information on such single-type netlists is conclusively
+    vulnerable.
+    """
+    config = GeneratorConfig(
+        n_inputs=n_inputs,
+        n_outputs=n_outputs,
+        n_gates=n_gates,
+        gate_weights={GateType.AND: 1.0},
+    )
+    return random_circuit(name, config, seed)

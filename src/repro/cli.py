@@ -1,0 +1,179 @@
+"""Command-line interface: generate, lock, attack, and evaluate netlists.
+
+Usage examples::
+
+    python -m repro.cli generate c1355 --scale 0.3 -o c1355.bench
+    python -m repro.cli lock c1355.bench --scheme dmux --key-size 16 -o locked.bench
+    python -m repro.cli attack locked.bench --epochs 20 --h 3
+    python -m repro.cli saam locked.bench
+    python -m repro.cli hd original.bench recovered.bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.attacks import saam_attack, scope_attack
+from repro.benchgen import benchmark_names, load_benchmark
+from repro.core import MuxLinkConfig, run_muxlink, score_key
+from repro.linkpred import TrainConfig
+from repro.locking import (
+    apply_key,
+    lock_dmux,
+    lock_naive_mux,
+    lock_symmetric,
+    lock_xor,
+)
+from repro.netlist import dump_bench, load_bench
+from repro.sim import hamming_distance
+
+_SCHEMES = {
+    "dmux": lock_dmux,
+    "symmetric": lock_symmetric,
+    "naive-mux": lock_naive_mux,
+    "xor": lock_xor,
+}
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    circuit = load_benchmark(args.benchmark, scale=args.scale)
+    dump_bench(circuit, args.output)
+    print(f"wrote {circuit!r} to {args.output}")
+    return 0
+
+
+def _cmd_lock(args: argparse.Namespace) -> int:
+    circuit, _ = load_bench(args.netlist)
+    locked = _SCHEMES[args.scheme](circuit, key_size=args.key_size, seed=args.seed)
+    dump_bench(locked.circuit, args.output, key=locked.key)
+    print(f"locked with {locked.scheme}, key={locked.key}")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    circuit, key = load_bench(args.netlist)
+    config = MuxLinkConfig(
+        h=args.h,
+        threshold=args.threshold,
+        train=TrainConfig(
+            epochs=args.epochs, learning_rate=args.learning_rate, seed=args.seed
+        ),
+        seed=args.seed,
+    )
+    result = run_muxlink(circuit, config)
+    print(f"predicted key: {result.predicted_key}")
+    if key:
+        metrics = score_key(result.predicted_key, key)
+        print(
+            f"AC={metrics.accuracy:.3f} PC={metrics.precision:.3f} "
+            f"KPA={metrics.kpa:.3f} X={metrics.n_x}"
+        )
+    print(f"runtime: {result.total_runtime:.1f}s")
+    return 0
+
+
+def _cmd_saam(args: argparse.Namespace) -> int:
+    circuit, key = load_bench(args.netlist)
+    report = saam_attack(circuit)
+    print(f"SAAM key guess: {report.predicted_key}")
+    if key:
+        metrics = score_key(report.predicted_key, key)
+        print(f"AC={metrics.accuracy:.3f} PC={metrics.precision:.3f}")
+    return 0
+
+
+def _cmd_scope(args: argparse.Namespace) -> int:
+    circuit, key = load_bench(args.netlist)
+    report = scope_attack(circuit, undecided=args.undecided, seed=args.seed)
+    print(f"SCOPE key guess: {report.predicted_key}")
+    if key:
+        metrics = score_key(report.predicted_key, key)
+        kpa = f"{metrics.kpa:.3f}" if metrics.kpa == metrics.kpa else "n/a"
+        print(f"AC={metrics.accuracy:.3f} KPA={kpa}")
+    return 0
+
+
+def _cmd_unlock(args: argparse.Namespace) -> int:
+    circuit, stored = load_bench(args.netlist)
+    key = args.key or stored
+    if not key:
+        print("error: no key given and none stored in the file", file=sys.stderr)
+        return 2
+    unlocked = apply_key(circuit, key)
+    dump_bench(unlocked, args.output)
+    print(f"wrote unlocked design ({len(unlocked)} gates) to {args.output}")
+    return 0
+
+
+def _cmd_hd(args: argparse.Namespace) -> int:
+    a, _ = load_bench(args.reference)
+    b, _ = load_bench(args.candidate)
+    hd = hamming_distance(a, b, n_patterns=args.patterns, seed=args.seed)
+    print(f"HD = {hd:.4%} over {args.patterns} patterns")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MuxLink reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="emit a stand-in benchmark as BENCH")
+    p.add_argument("benchmark", choices=benchmark_names() + ("c17",))
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("lock", help="lock a BENCH netlist")
+    p.add_argument("netlist")
+    p.add_argument("--scheme", choices=sorted(_SCHEMES), default="dmux")
+    p.add_argument("--key-size", type=int, default=32)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=_cmd_lock)
+
+    p = sub.add_parser("attack", help="run MuxLink on a locked netlist")
+    p.add_argument("netlist")
+    p.add_argument("--h", type=int, default=3)
+    p.add_argument("--threshold", type=float, default=0.01)
+    p.add_argument("--epochs", type=int, default=20)
+    p.add_argument("--learning-rate", type=float, default=1e-3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_attack)
+
+    p = sub.add_parser("saam", help="run the SAAM structural attack")
+    p.add_argument("netlist")
+    p.set_defaults(func=_cmd_saam)
+
+    p = sub.add_parser("scope", help="run the SCOPE constant-propagation attack")
+    p.add_argument("netlist")
+    p.add_argument("--undecided", choices=("coin", "x"), default="x")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_scope)
+
+    p = sub.add_parser("unlock", help="apply a key to a locked netlist")
+    p.add_argument("netlist")
+    p.add_argument("--key", default=None, help="defaults to the stored #key")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=_cmd_unlock)
+
+    p = sub.add_parser("hd", help="Hamming distance between two netlists")
+    p.add_argument("reference")
+    p.add_argument("candidate")
+    p.add_argument("--patterns", type=int, default=10_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_hd)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""MuxLink core: attack orchestration, post-processing, metrics, recovery."""
+
+from repro.core.metrics import KeyMetrics, aggregate_metrics, score_key
+from repro.core.muxlink import (
+    MuxLinkConfig,
+    MuxLinkResult,
+    rescore_key,
+    run_muxlink,
+)
+from repro.core.postprocess import (
+    ScoredMux,
+    decisions_to_key,
+    postprocess_likelihoods,
+)
+from repro.core.reconstruct import hamming_with_x, recover_design
+
+__all__ = [
+    "MuxLinkConfig",
+    "MuxLinkResult",
+    "run_muxlink",
+    "rescore_key",
+    "ScoredMux",
+    "postprocess_likelihoods",
+    "decisions_to_key",
+    "KeyMetrics",
+    "score_key",
+    "aggregate_metrics",
+    "recover_design",
+    "hamming_with_x",
+]

@@ -1,0 +1,87 @@
+"""Attack evaluation metrics — paper Sec. IV.
+
+* **AC** (accuracy): correctly deciphered bits / total key bits.
+* **PC** (precision): (correct + X) / total — an ``x`` guess is never
+  *wrong*, so precision rewards abstaining over guessing badly.
+* **KPA** (key prediction accuracy): correct / decided — accuracy over the
+  bits the attack actually committed to.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["KeyMetrics", "score_key", "aggregate_metrics"]
+
+
+@dataclass(frozen=True)
+class KeyMetrics:
+    """Scores of one predicted key against the ground truth."""
+
+    n_total: int
+    n_correct: int
+    n_wrong: int
+    n_x: int
+
+    @property
+    def accuracy(self) -> float:
+        """AC = Kcorrect / Ktotal."""
+        return self.n_correct / self.n_total if self.n_total else math.nan
+
+    @property
+    def precision(self) -> float:
+        """PC = (Kcorrect + Kx) / Ktotal."""
+        if not self.n_total:
+            return math.nan
+        return (self.n_correct + self.n_x) / self.n_total
+
+    @property
+    def kpa(self) -> float:
+        """KPA = Kcorrect / (Ktotal - Kx); NaN when nothing was decided."""
+        decided = self.n_total - self.n_x
+        return self.n_correct / decided if decided else math.nan
+
+    @property
+    def decision_rate(self) -> float:
+        """Fraction of key bits the attack committed to (1 - X ratio)."""
+        return 1 - self.n_x / self.n_total if self.n_total else math.nan
+
+
+def score_key(predicted: str, actual: str) -> KeyMetrics:
+    """Score a predicted key string (``0``/``1``/``x``) against the truth.
+
+    Raises:
+        ValueError: on length mismatch or invalid characters.
+    """
+    if len(predicted) != len(actual):
+        raise ValueError(
+            f"length mismatch: predicted {len(predicted)}, actual {len(actual)}"
+        )
+    correct = wrong = undecided = 0
+    for pred, act in zip(predicted, actual):
+        if act not in "01":
+            raise ValueError(f"actual key has invalid character {act!r}")
+        if pred in "xX":
+            undecided += 1
+        elif pred not in "01":
+            raise ValueError(f"predicted key has invalid character {pred!r}")
+        elif pred == act:
+            correct += 1
+        else:
+            wrong += 1
+    return KeyMetrics(
+        n_total=len(actual), n_correct=correct, n_wrong=wrong, n_x=undecided
+    )
+
+
+def aggregate_metrics(results: list[KeyMetrics]) -> KeyMetrics:
+    """Pool several runs into one (micro-averaged) metric."""
+    if not results:
+        raise ValueError("cannot aggregate zero results")
+    return KeyMetrics(
+        n_total=sum(r.n_total for r in results),
+        n_correct=sum(r.n_correct for r in results),
+        n_wrong=sum(r.n_wrong for r in results),
+        n_x=sum(r.n_x for r in results),
+    )

@@ -1,0 +1,43 @@
+"""Experiment runners regenerating every figure of the paper."""
+
+from repro.experiments.common import (
+    CI_SCALE,
+    PAPER_SCALE,
+    AttackRecord,
+    ExperimentScale,
+    active_scale,
+    attack_benchmark,
+    format_records,
+    lock_with,
+)
+from repro.experiments.fig2 import Fig2Row, format_fig2, run_fig2
+from repro.experiments.fig7 import format_fig7, run_fig7, summarize_fig7
+from repro.experiments.fig8 import Fig8Row, format_fig8, run_fig8
+from repro.experiments.fig9 import Fig9Row, format_fig9, run_fig9
+from repro.experiments.fig10 import Fig10Row, format_fig10, run_fig10
+
+__all__ = [
+    "ExperimentScale",
+    "CI_SCALE",
+    "PAPER_SCALE",
+    "active_scale",
+    "AttackRecord",
+    "attack_benchmark",
+    "lock_with",
+    "format_records",
+    "run_fig2",
+    "format_fig2",
+    "Fig2Row",
+    "run_fig7",
+    "format_fig7",
+    "summarize_fig7",
+    "run_fig8",
+    "format_fig8",
+    "Fig8Row",
+    "run_fig9",
+    "format_fig9",
+    "Fig9Row",
+    "run_fig10",
+    "format_fig10",
+    "Fig10Row",
+]

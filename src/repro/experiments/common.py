@@ -1,0 +1,197 @@
+"""Shared experiment infrastructure: scales, runners, result records.
+
+Two parameter presets exist for every experiment:
+
+* ``CI`` — shrunk circuits / keys / epochs so the whole figure regenerates
+  in minutes on a laptop.  This is what ``benchmarks/`` runs.
+* ``PAPER`` — the full-size setting of the paper (all 13 benchmarks,
+  K up to 512, 100 epochs).  Same code path, hours of runtime.
+
+Set the environment variable ``REPRO_EXPERIMENT_SCALE=paper`` to make the
+benches run the paper preset.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.benchgen import load_benchmark
+from repro.core import MuxLinkConfig, score_key
+from repro.core.metrics import KeyMetrics
+from repro.core.muxlink import run_muxlink
+from repro.linkpred import TrainConfig
+from repro.locking import (
+    DMUX_SCHEME,
+    SYMMETRIC_SCHEME,
+    LockedCircuit,
+    lock_dmux,
+    lock_symmetric,
+)
+from repro.netlist import Circuit
+
+__all__ = [
+    "ExperimentScale",
+    "CI_SCALE",
+    "PAPER_SCALE",
+    "active_scale",
+    "AttackRecord",
+    "lock_with",
+    "attack_benchmark",
+    "format_records",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """One evaluation preset.
+
+    Attributes:
+        name: preset label (shows up in reports).
+        iscas: ISCAS-85 benchmark names to include.
+        itc: ITC-99 benchmark names to include.
+        circuit_scale_iscas / circuit_scale_itc: stand-in size factors.
+        iscas_keys / itc_keys: key sizes per family (paper: {64, 128, 256}
+            and {256, 512}).
+        h: enclosing-subgraph hops.
+        threshold: post-processing ``th``.
+        epochs / learning_rate: GNN training budget.
+        hd_patterns: random patterns for Hamming-distance runs.
+    """
+
+    name: str
+    iscas: tuple[str, ...]
+    itc: tuple[str, ...]
+    circuit_scale_iscas: float
+    circuit_scale_itc: float
+    iscas_keys: tuple[int, ...]
+    itc_keys: tuple[int, ...]
+    h: int = 3
+    threshold: float = 0.01
+    epochs: int = 15
+    learning_rate: float = 1e-3
+    hd_patterns: int = 10_000
+
+    def benchmarks(self) -> tuple[tuple[str, float, tuple[int, ...]], ...]:
+        """``(name, scale, key_sizes)`` for every included benchmark."""
+        rows = [
+            (name, self.circuit_scale_iscas, self.iscas_keys)
+            for name in self.iscas
+        ]
+        rows += [
+            (name, self.circuit_scale_itc, self.itc_keys) for name in self.itc
+        ]
+        return tuple(rows)
+
+    def attack_config(self, seed: int = 0) -> MuxLinkConfig:
+        return MuxLinkConfig(
+            h=self.h,
+            threshold=self.threshold,
+            train=TrainConfig(
+                epochs=self.epochs, learning_rate=self.learning_rate, seed=seed
+            ),
+            seed=seed,
+        )
+
+
+CI_SCALE = ExperimentScale(
+    name="ci",
+    iscas=("c1355", "c1908", "c2670"),
+    itc=("b14", "b15"),
+    circuit_scale_iscas=0.15,
+    circuit_scale_itc=0.018,
+    iscas_keys=(8, 16),
+    itc_keys=(16,),
+    h=3,
+    epochs=15,
+    hd_patterns=4096,
+)
+
+PAPER_SCALE = ExperimentScale(
+    name="paper",
+    iscas=("c1355", "c1908", "c2670", "c3540", "c5315", "c6288", "c7552"),
+    itc=("b14", "b15", "b20", "b21", "b22", "b17"),
+    circuit_scale_iscas=1.0,
+    circuit_scale_itc=1.0,
+    iscas_keys=(64, 128, 256),
+    itc_keys=(256, 512),
+    h=3,
+    epochs=100,
+    learning_rate=1e-4,
+    hd_patterns=100_000,
+)
+
+
+def active_scale() -> ExperimentScale:
+    """Preset selected via ``REPRO_EXPERIMENT_SCALE`` (default: CI)."""
+    if os.environ.get("REPRO_EXPERIMENT_SCALE", "ci").lower() == "paper":
+        return PAPER_SCALE
+    return CI_SCALE
+
+
+_LOCKERS = {
+    DMUX_SCHEME: lock_dmux,
+    SYMMETRIC_SCHEME: lock_symmetric,
+}
+
+
+def lock_with(
+    scheme: str, circuit: Circuit, key_size: int, seed: int = 0
+) -> LockedCircuit:
+    """Lock *circuit* with the named scheme (``D-MUX`` / ``Symmetric-MUX``)."""
+    try:
+        locker = _LOCKERS[scheme]
+    except KeyError:
+        raise KeyError(f"unknown scheme {scheme!r}; choose from {sorted(_LOCKERS)}")
+    return locker(circuit, key_size=key_size, seed=seed)
+
+
+@dataclass
+class AttackRecord:
+    """One (benchmark, scheme, key size) attack outcome."""
+
+    benchmark: str
+    scheme: str
+    key_size: int
+    metrics: KeyMetrics
+    runtime_seconds: float
+    predicted_key: str = ""
+    extras: dict = field(default_factory=dict)
+
+
+def attack_benchmark(
+    name: str,
+    scheme: str,
+    key_size: int,
+    scale: ExperimentScale,
+    circuit_scale: float,
+    seed: int = 0,
+) -> AttackRecord:
+    """Lock one benchmark and run MuxLink on it."""
+    base = load_benchmark(name, scale=circuit_scale)
+    locked = lock_with(scheme, base, key_size=key_size, seed=seed)
+    result = run_muxlink(locked.circuit, scale.attack_config(seed=seed))
+    metrics = score_key(result.predicted_key, locked.key)
+    return AttackRecord(
+        benchmark=name,
+        scheme=scheme,
+        key_size=key_size,
+        metrics=metrics,
+        runtime_seconds=result.total_runtime,
+        predicted_key=result.predicted_key,
+        extras={"result": result, "locked": locked, "base": base},
+    )
+
+
+def format_records(records: list[AttackRecord], title: str) -> str:
+    """Render records as the paper-style AC/PC/KPA table."""
+    lines = [title, f"{'benchmark':<10}{'scheme':<15}{'K':>5}{'AC':>8}{'PC':>8}{'KPA':>8}{'X':>5}{'sec':>8}"]
+    for r in records:
+        m = r.metrics
+        kpa = f"{m.kpa:.3f}" if m.kpa == m.kpa else "  nan"
+        lines.append(
+            f"{r.benchmark:<10}{r.scheme:<15}{r.key_size:>5}"
+            f"{m.accuracy:>8.3f}{m.precision:>8.3f}{kpa:>8}"
+            f"{m.n_x:>5}{r.runtime_seconds:>8.1f}"
+        )
+    return "\n".join(lines)

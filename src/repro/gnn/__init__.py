@@ -1,0 +1,19 @@
+"""DGCNN graph classifier and graph batching."""
+
+from repro.gnn.batching import (
+    GraphBatch,
+    GraphExample,
+    build_batch,
+    normalized_adjacency,
+)
+from repro.gnn.dgcnn import DGCNN, MIN_SORTPOOL_K, choose_sortpool_k
+
+__all__ = [
+    "GraphExample",
+    "GraphBatch",
+    "build_batch",
+    "normalized_adjacency",
+    "DGCNN",
+    "choose_sortpool_k",
+    "MIN_SORTPOOL_K",
+]

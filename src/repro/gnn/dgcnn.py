@@ -1,0 +1,156 @@
+"""DGCNN — deep graph convolutional neural network (Zhang et al., AAAI'18).
+
+The exact architecture of the paper (Sec. IV "GNN Topology"):
+
+* four graph-convolution layers with {32, 32, 32, 1} output channels and
+  ``tanh`` activations (Eq. 4),
+* concatenation ``H^{1:L}`` of all layer outputs per node,
+* SortPooling to the top-``k`` nodes ordered by the last (1-channel) layer,
+* two 1-D convolution layers with {16, 32} output channels — the first has
+  kernel/stride equal to the per-node feature width, the second kernel 5 —
+  with a max-pool of size 2 in between, ReLU activations,
+* a 128-unit dense layer, dropout 0.5, and a 2-way softmax output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.batching import GraphBatch
+from repro.nn import (
+    Conv1d,
+    Dropout,
+    GraphConv,
+    Linear,
+    Module,
+    Tensor,
+    concat,
+    max_pool1d,
+    softmax,
+    softmax_cross_entropy,
+)
+
+__all__ = ["DGCNN", "choose_sortpool_k"]
+
+#: Smallest usable SortPooling k: after the width-2 max-pool the second
+#: convolution (kernel 5) still needs at least one output position.
+MIN_SORTPOOL_K = 10
+
+
+def choose_sortpool_k(
+    subgraph_sizes: list[int], percentile: float = 0.6
+) -> int:
+    """Pick k so that ``percentile`` of subgraphs have at most k nodes.
+
+    Mirrors the paper: "we set k such that 60% of subgraphs have nodes less
+    than or equal to k", clamped to :data:`MIN_SORTPOOL_K`.
+    """
+    if not subgraph_sizes:
+        raise ValueError("need at least one subgraph size")
+    if not 0.0 < percentile <= 1.0:
+        raise ValueError(f"percentile must be in (0, 1], got {percentile}")
+    k = int(np.quantile(np.asarray(subgraph_sizes), percentile))
+    return max(MIN_SORTPOOL_K, k)
+
+
+class DGCNN(Module):
+    """Graph classifier for link prediction.
+
+    Args:
+        in_features: width of the node-information matrix.
+        k: SortPooling size (use :func:`choose_sortpool_k`).
+        gc_channels: per-layer graph-convolution output widths.
+        conv_channels: the two 1-D convolution widths.
+        dense_units: hidden dense-layer width.
+        dropout: dropout rate before the output layer.
+        seed: parameter-initialization / dropout seed.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        k: int,
+        gc_channels: tuple[int, ...] = (32, 32, 32, 1),
+        conv_channels: tuple[int, int] = (16, 32),
+        dense_units: int = 128,
+        dropout: float = 0.5,
+        seed: int = 0,
+    ):
+        if k < MIN_SORTPOOL_K:
+            raise ValueError(f"k must be >= {MIN_SORTPOOL_K}, got {k}")
+        rng = np.random.default_rng(seed)
+        self.k = k
+        self.gc_layers = [
+            GraphConv(cin, cout, rng)
+            for cin, cout in zip((in_features,) + gc_channels[:-1], gc_channels)
+        ]
+        self.node_width = int(sum(gc_channels))
+        self.conv1 = Conv1d(
+            1, conv_channels[0], kernel_size=self.node_width,
+            rng=rng, stride=self.node_width,
+        )
+        self.conv2 = Conv1d(
+            conv_channels[0], conv_channels[1], kernel_size=5, rng=rng
+        )
+        conv2_len = (k // 2) - 4
+        self.flat_width = conv_channels[1] * conv2_len
+        self.fc1 = Linear(self.flat_width, dense_units, rng)
+        self.dropout = Dropout(dropout, np.random.default_rng(seed + 1))
+        self.fc2 = Linear(dense_units, 2, rng)
+        self.training = True
+
+    # ------------------------------------------------------------ plumbing
+    def _sortpool_indices(self, last_layer: np.ndarray, batch: GraphBatch) -> np.ndarray:
+        """Per-graph top-k node rows ordered by the 1-channel layer value.
+
+        Returns absolute row indices into the stacked node matrix, ``-1``
+        where a graph has fewer than k nodes (zero padding).
+        """
+        scores = last_layer[:, -1]
+        indices = np.full((batch.n_graphs, self.k), -1, dtype=np.int64)
+        for g in range(batch.n_graphs):
+            lo, hi = batch.node_offsets[g], batch.node_offsets[g + 1]
+            order = np.argsort(-scores[lo:hi], kind="stable") + lo
+            take = min(self.k, hi - lo)
+            indices[g, :take] = order[:take]
+        return indices.reshape(-1)
+
+    def forward(self, batch: GraphBatch) -> Tensor:
+        """Compute ``(n_graphs, 2)`` classification logits."""
+        h = Tensor(batch.features)
+        layer_outputs: list[Tensor] = []
+        for layer in self.gc_layers:
+            h = layer(batch.norm_adj, h)
+            layer_outputs.append(h)
+        h_cat = concat(layer_outputs, axis=1)  # (N, node_width)
+
+        indices = self._sortpool_indices(layer_outputs[-1].data, batch)
+        pooled = h_cat.gather_rows(indices)  # (B*k, node_width)
+        pooled = pooled.reshape(batch.n_graphs, 1, self.k * self.node_width)
+
+        z = self.conv1(pooled).relu()  # (B, c1, k)
+        z = max_pool1d(z, 2, 2)  # (B, c1, k//2)
+        z = self.conv2(z).relu()  # (B, c2, k//2 - 4)
+        z = z.reshape(batch.n_graphs, self.flat_width)
+        z = self.fc1(z).relu()
+        z = self.dropout(z)
+        return self.fc2(z)
+
+    __call__ = forward
+
+    def loss(self, batch: GraphBatch) -> Tensor:
+        """Mean cross-entropy against the batch labels."""
+        if (batch.labels < 0).any():
+            raise ValueError("batch contains unlabeled graphs")
+        return softmax_cross_entropy(self.forward(batch), batch.labels)
+
+    def predict_proba(self, batch: GraphBatch) -> np.ndarray:
+        """Per-graph likelihood of class 1 ("link exists")."""
+        was_training = self.training
+        self.eval()
+        try:
+            probs = softmax(self.forward(batch)).data
+        finally:
+            if was_training:
+                self.train()
+        return probs[:, 1]

@@ -1,0 +1,40 @@
+"""SEAL-style link-prediction pipeline over locked netlists."""
+
+from repro.linkpred.dataset import (
+    LinkDataset,
+    TargetExample,
+    build_link_dataset,
+    build_target_examples,
+)
+from repro.linkpred.graph import AttackGraph, MuxTarget, extract_attack_graph
+from repro.linkpred.sampling import LinkSample, sample_links
+from repro.linkpred.subgraph import (
+    EnclosingSubgraph,
+    drnl_label,
+    extract_enclosing_subgraph,
+)
+from repro.linkpred.trainer import (
+    TrainConfig,
+    TrainHistory,
+    score_examples,
+    train_link_predictor,
+)
+
+__all__ = [
+    "AttackGraph",
+    "MuxTarget",
+    "extract_attack_graph",
+    "EnclosingSubgraph",
+    "drnl_label",
+    "extract_enclosing_subgraph",
+    "LinkSample",
+    "sample_links",
+    "LinkDataset",
+    "TargetExample",
+    "build_link_dataset",
+    "build_target_examples",
+    "TrainConfig",
+    "TrainHistory",
+    "train_link_predictor",
+    "score_examples",
+]

@@ -1,0 +1,159 @@
+"""Assembling GNN-ready datasets from sampled links (paper Sec. III-B/C).
+
+Each sampled link becomes an enclosing subgraph with a node-information
+matrix ``X = [gate-type one-hot (8) | DRNL one-hot]``.  The DRNL one-hot
+width is fixed by the largest label seen in the *training* material; larger
+labels encountered at attack time clamp to the "far" bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.gnn import GraphExample
+from repro.linkpred.graph import AttackGraph, MuxTarget
+from repro.linkpred.sampling import LinkSample
+from repro.linkpred.subgraph import EnclosingSubgraph, extract_enclosing_subgraph
+from repro.netlist import NUM_GATE_FEATURES
+
+__all__ = ["LinkDataset", "TargetExample", "build_link_dataset", "build_target_examples"]
+
+
+_MAX_DEGREE_FEATURE = 8
+
+
+def _features(
+    subgraph: EnclosingSubgraph,
+    max_label: int,
+    use_drnl: bool = True,
+    use_gate_types: bool = True,
+    use_degree: bool = True,
+) -> np.ndarray:
+    n = subgraph.n_nodes
+    blocks: list[np.ndarray] = []
+    if use_gate_types:
+        gate_block = np.zeros((n, NUM_GATE_FEATURES))
+        gate_block[np.arange(n), subgraph.gate_type_ids] = 1.0
+        blocks.append(gate_block)
+    if use_drnl:
+        label_block = np.zeros((n, max_label + 1))
+        clamped = np.minimum(subgraph.labels, max_label)
+        label_block[np.arange(n), clamped] = 1.0
+        blocks.append(label_block)
+    if use_degree:
+        degree_block = np.zeros((n, _MAX_DEGREE_FEATURE))
+        clamped = np.minimum(subgraph.degrees, _MAX_DEGREE_FEATURE - 1)
+        degree_block[np.arange(n), clamped] = 1.0
+        blocks.append(degree_block)
+    if not blocks:
+        blocks.append(np.ones((n, 1)))
+    return np.hstack(blocks)
+
+
+@dataclass
+class LinkDataset:
+    """Train/validation subgraph examples plus the feature configuration."""
+
+    train: list[GraphExample]
+    validation: list[GraphExample]
+    max_label: int
+    feature_width: int
+    h: int
+    use_drnl: bool = True
+    use_gate_types: bool = True
+    use_degree: bool = True
+    subgraph_sizes: list[int] = field(default_factory=list)
+
+
+def build_link_dataset(
+    graph: AttackGraph,
+    sample: LinkSample,
+    h: int = 3,
+    use_drnl: bool = True,
+    use_gate_types: bool = True,
+    use_degree: bool = True,
+) -> LinkDataset:
+    """Extract and featurize enclosing subgraphs for every sampled link."""
+    raw: list[tuple[EnclosingSubgraph, int, bool]] = []
+    max_label = 1
+    for split_is_train, links in ((True, sample.train), (False, sample.validation)):
+        for u, v, label in links:
+            sub = extract_enclosing_subgraph(graph, u, v, h)
+            raw.append((sub, label, split_is_train))
+            max_label = max(max_label, int(sub.labels.max(initial=0)))
+    if not raw:
+        raise TrainingError("no links to build a dataset from")
+
+    train: list[GraphExample] = []
+    validation: list[GraphExample] = []
+    sizes: list[int] = []
+    for sub, label, is_train in raw:
+        example = GraphExample(
+            n_nodes=sub.n_nodes,
+            edges=sub.edges,
+            features=_features(sub, max_label, use_drnl, use_gate_types, use_degree),
+            label=label,
+        )
+        (train if is_train else validation).append(example)
+        if is_train:
+            sizes.append(sub.n_nodes)
+    width = train[0].features.shape[1] if train else validation[0].features.shape[1]
+    return LinkDataset(
+        train=train,
+        validation=validation,
+        max_label=max_label,
+        feature_width=width,
+        h=h,
+        use_drnl=use_drnl,
+        use_gate_types=use_gate_types,
+        use_degree=use_degree,
+        subgraph_sizes=sizes,
+    )
+
+
+@dataclass(frozen=True)
+class TargetExample:
+    """A candidate link of one key MUX, ready for scoring.
+
+    Attributes:
+        target: the owning MUX record.
+        select_value: key value that would pass this candidate (0 for d0).
+        example: the unlabeled subgraph.
+    """
+
+    target: MuxTarget
+    select_value: int
+    example: GraphExample
+
+
+def build_target_examples(
+    graph: AttackGraph, dataset: LinkDataset
+) -> list[TargetExample]:
+    """Featurize both candidate links of every key MUX.
+
+    Must use the *training* feature configuration (same ``max_label`` and
+    blocks) so the model sees consistent input widths.
+    """
+    out: list[TargetExample] = []
+    for target in graph.targets:
+        for driver, load, select_value in target.candidates():
+            sub = extract_enclosing_subgraph(graph, driver, load, dataset.h)
+            example = GraphExample(
+                n_nodes=sub.n_nodes,
+                edges=sub.edges,
+                features=_features(
+                    sub,
+                    dataset.max_label,
+                    dataset.use_drnl,
+                    dataset.use_gate_types,
+                    dataset.use_degree,
+                ),
+                label=-1,
+            )
+            out.append(
+                TargetExample(target=target, select_value=select_value, example=example)
+            )
+    return out

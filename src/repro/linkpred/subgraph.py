@@ -1,0 +1,159 @@
+"""Enclosing-subgraph extraction and DRNL labelling (paper Sec. III-A/B).
+
+For a target pair ``(f, g)`` the h-hop enclosing subgraph is induced on
+``{ j | d(j, f) <= h or d(j, g) <= h }``.  Each node then receives a double
+radius node label (DRNL, Eq. 3) describing its position relative to the
+target pair; following SEAL, the distance to one target is computed with
+the *other* target removed so labels do not collapse through it, and any
+direct ``f–g`` edge is removed first.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.linkpred.graph import AttackGraph
+
+__all__ = ["EnclosingSubgraph", "extract_enclosing_subgraph", "drnl_label"]
+
+
+def drnl_label(df: int | None, dg: int | None) -> int:
+    """Double radius node label (paper Eq. 3).
+
+    Args:
+        df: distance to target ``f`` (``None`` when unreachable).
+        dg: distance to target ``g``.
+
+    Returns:
+        ``1`` for the targets themselves, ``0`` for nodes that reach only
+        one target, and ``1 + min + (d/2)[(d/2) + (d%2) - 1]`` otherwise.
+    """
+    if df == 0 and dg == 0:
+        raise ValueError("a node cannot be both targets at once")
+    if df == 0 or dg == 0:
+        return 1
+    if df is None or dg is None:
+        return 0
+    d = df + dg
+    half, rem = divmod(d, 2)
+    return 1 + min(df, dg) + half * (half + rem - 1)
+
+
+@dataclass(frozen=True)
+class EnclosingSubgraph:
+    """An extracted h-hop enclosing subgraph.
+
+    Attributes:
+        nodes: original node indices (position 0 is ``f``, position 1 is
+            ``g``).
+        edges: local-index undirected edge array ``(E, 2)``.
+        labels: DRNL label per local node.
+        gate_type_ids: feature row (0–7) per local node.
+        degrees: observed full-graph degree per local node (the locked load
+            gate is missing one pin, which this feature exposes).
+    """
+
+    nodes: np.ndarray
+    edges: np.ndarray
+    labels: np.ndarray
+    gate_type_ids: np.ndarray
+    degrees: np.ndarray
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+
+def _bounded_bfs(
+    graph: AttackGraph,
+    start: int,
+    h: int,
+    blocked: int | None = None,
+    forbidden_edge: tuple[int, int] | None = None,
+) -> dict[int, int]:
+    """Distances from *start* up to *h* hops, avoiding *blocked* node and
+    *forbidden_edge* (the target link itself)."""
+    dist = {start: 0}
+    frontier = deque([start])
+    while frontier:
+        node = frontier.popleft()
+        d = dist[node]
+        if d == h:
+            continue
+        for nbr in graph.neighbors[node]:
+            if nbr == blocked or nbr in dist:
+                continue
+            if forbidden_edge and {node, nbr} == set(forbidden_edge):
+                continue
+            dist[nbr] = d + 1
+            frontier.append(nbr)
+    return dist
+
+
+def extract_enclosing_subgraph(
+    graph: AttackGraph, f: int, g: int, h: int
+) -> EnclosingSubgraph:
+    """Extract the h-hop enclosing subgraph around target pair ``(f, g)``.
+
+    The (possibly observed) direct edge ``f–g`` is never part of the
+    subgraph — the GNN must judge the link from the surroundings alone.
+    """
+    if f == g:
+        raise ValueError("target nodes must differ")
+    if h < 1:
+        raise ValueError("h must be >= 1")
+    edge = (f, g)
+    dist_f = _bounded_bfs(graph, f, h, forbidden_edge=edge)
+    dist_g = _bounded_bfs(graph, g, h, forbidden_edge=edge)
+
+    members = [f, g] + sorted(
+        (set(dist_f) | set(dist_g)) - {f, g}
+    )
+    local = {node: i for i, node in enumerate(members)}
+
+    # SEAL labelling distances: to f with g removed, to g with f removed.
+    label_dist_f = _bounded_bfs(graph, f, 2 * h, blocked=g, forbidden_edge=edge)
+    label_dist_g = _bounded_bfs(graph, g, 2 * h, blocked=f, forbidden_edge=edge)
+
+    labels = np.array(
+        [
+            drnl_label(label_dist_f.get(node), label_dist_g.get(node))
+            for node in members
+        ],
+        dtype=np.int64,
+    )
+
+    member_set = set(members)
+    edges: list[tuple[int, int]] = []
+    for node in members:
+        u = local[node]
+        for nbr in graph.neighbors[node]:
+            if nbr in member_set:
+                v = local[nbr]
+                if u < v and {node, nbr} != set(edge):
+                    edges.append((u, v))
+    edge_array = (
+        np.array(edges, dtype=np.int64)
+        if edges
+        else np.empty((0, 2), dtype=np.int64)
+    )
+
+    from repro.netlist import gate_feature_index
+
+    gate_type_ids = np.array(
+        [gate_feature_index(graph.gate_types[node]) for node in members],
+        dtype=np.int64,
+    )
+    degrees = np.array(
+        [len(graph.neighbors[node]) for node in members], dtype=np.int64
+    )
+    return EnclosingSubgraph(
+        nodes=np.array(members, dtype=np.int64),
+        edges=edge_array,
+        labels=labels,
+        gate_type_ids=gate_type_ids,
+        degrees=degrees,
+    )

@@ -1,0 +1,47 @@
+"""Logic-locking schemes: XOR, naive MUX, D-MUX (S1–S4) and symmetric (S5)."""
+
+from repro.locking.common import (
+    Locality,
+    LockedCircuit,
+    MuxInstance,
+    Strategy,
+    insert_key_mux,
+)
+from repro.locking.dmux import DMUX_SCHEME, lock_dmux
+from repro.locking.keys import (
+    KEY_INPUT_PREFIX,
+    format_key,
+    is_key_input,
+    key_input_index,
+    key_input_name,
+    key_inputs_of,
+    parse_key,
+)
+from repro.locking.naive_mux import NAIVE_MUX_SCHEME, lock_naive_mux
+from repro.locking.symmetric import SYMMETRIC_SCHEME, lock_symmetric
+from repro.locking.unlock import apply_key
+from repro.locking.xor_locking import XOR_SCHEME, lock_xor
+
+__all__ = [
+    "Strategy",
+    "MuxInstance",
+    "Locality",
+    "LockedCircuit",
+    "insert_key_mux",
+    "lock_dmux",
+    "lock_symmetric",
+    "lock_naive_mux",
+    "lock_xor",
+    "apply_key",
+    "DMUX_SCHEME",
+    "SYMMETRIC_SCHEME",
+    "NAIVE_MUX_SCHEME",
+    "XOR_SCHEME",
+    "KEY_INPUT_PREFIX",
+    "key_input_name",
+    "key_input_index",
+    "is_key_input",
+    "key_inputs_of",
+    "format_key",
+    "parse_key",
+]

@@ -1,0 +1,257 @@
+"""Deceptive MUX-based locking — D-MUX (Sisejkovic et al., TCAD 2021).
+
+Implements the four locking strategies of paper Fig. 4 and the cost-aware
+**eD-MUX** policy (S1–S3 preferred at random, S4 only as a fallback since it
+spends two MUXes per key bit).
+
+Scheme guarantees enforced constructively:
+
+* **no key leakage** — MUX data-pin order (hence the correct key-bit value)
+  is uniformly random;
+* **no circuit reduction** — every strategy keeps both source nets loaded
+  for any single hard-coded key bit;
+* **no combinational loops** — decoy edges are checked against the live
+  netlist before insertion, with rollback when the second MUX of a pair
+  turns out to be unsafe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LockingError
+from repro.locking.common import (
+    Locality,
+    LockedCircuit,
+    MuxInstance,
+    Strategy,
+    insert_key_mux,
+)
+from repro.locking.keys import format_key, key_input_name
+from repro.netlist import Circuit, GateType
+
+__all__ = ["lock_dmux", "DMUX_SCHEME"]
+
+DMUX_SCHEME = "D-MUX"
+
+#: Sampling attempts per strategy before it is declared non-viable
+#: for the current step.
+_TRIES = 80
+
+
+def _undo_mux(circuit: Circuit, mux: MuxInstance, key_was_new: bool) -> None:
+    """Roll back one :func:`insert_key_mux`."""
+    circuit.rewire_input(mux.load_gate, mux.mux_name, mux.true_net)
+    circuit.remove_gate(mux.mux_name)
+    if key_was_new and not circuit.fanout(mux.key_name):
+        circuit.remove_input(mux.key_name)
+
+
+def _source_nets(circuit: Circuit) -> list[str]:
+    """Nets eligible as locking sources: gate-driven, not key MUXes."""
+    return [
+        name
+        for name in circuit.gate_names
+        if circuit.gate(name).gate_type is not GateType.MUX
+    ]
+
+
+def _gate_loads(circuit: Circuit, net: str) -> list[str]:
+    """Loads of *net* that are lockable gates (non-MUX)."""
+    return [
+        load
+        for load in circuit.fanout(net)
+        if circuit.gate(load).gate_type is not GateType.MUX
+    ]
+
+
+def _pick(rng: np.random.Generator, items: list[str]) -> str:
+    return items[int(rng.integers(len(items)))]
+
+
+def _insert_pair(
+    circuit: Circuit,
+    ki: int,
+    kj: int,
+    fi: str,
+    fj: str,
+    gi: str,
+    gj: str,
+    rng: np.random.Generator,
+    same_order: bool,
+) -> tuple[MuxInstance, MuxInstance]:
+    """Insert the two MUXes of a pair strategy atomically.
+
+    *same_order* (S1/S5) wires both MUXes with identical data-pin order, so
+    the two correct key bits are complementary; S4 reverses the order on the
+    second MUX, making one key value pass both true wires.
+    """
+    select_i = int(rng.integers(2))
+    select_j = (1 - select_i) if same_order else select_i
+    key_i_new = not circuit.has_net(key_input_name(ki))
+    mux_i = insert_key_mux(
+        circuit, ki, true_net=fi, false_net=fj, load_gate=gi,
+        rng=rng, select_for_true=select_i,
+    )
+    try:
+        mux_j = insert_key_mux(
+            circuit, kj, true_net=fj, false_net=fi, load_gate=gj,
+            rng=rng, select_for_true=select_j,
+        )
+    except LockingError:
+        _undo_mux(circuit, mux_i, key_i_new)
+        raise
+    return mux_i, mux_j
+
+
+def _try_s1(
+    circuit: Circuit, ki: int, kj: int, rng: np.random.Generator
+) -> Locality | None:
+    """S1: two multi-output sources, two key bits, two MUXes."""
+    multi = [n for n in _source_nets(circuit) if circuit.fanout_size(n) > 1]
+    for _ in range(_TRIES):
+        if len(multi) < 2:
+            return None
+        fi, fj = _pick(rng, multi), _pick(rng, multi)
+        if fi == fj:
+            continue
+        loads_i = [g for g in _gate_loads(circuit, fi) if g != fj]
+        loads_j = [g for g in _gate_loads(circuit, fj) if g != fi]
+        if not loads_i or not loads_j:
+            continue
+        gi, gj = _pick(rng, loads_i), _pick(rng, loads_j)
+        if gi == gj:
+            continue
+        try:
+            mux_i, mux_j = _insert_pair(
+                circuit, ki, kj, fi, fj, gi, gj, rng, same_order=True
+            )
+        except LockingError:
+            continue
+        return Locality(Strategy.S1, (mux_i, mux_j))
+    return None
+
+
+def _try_single_mux(
+    circuit: Circuit,
+    ki: int,
+    rng: np.random.Generator,
+    strategy: Strategy,
+) -> Locality | None:
+    """S2 (both sources multi-output) and S3 (decoy single-output)."""
+    sources = _source_nets(circuit)
+    multi = [n for n in sources if circuit.fanout_size(n) > 1]
+    single = [n for n in sources if circuit.fanout_size(n) == 1]
+    for _ in range(_TRIES):
+        if not multi:
+            return None
+        decoy_pool = multi if strategy is Strategy.S2 else single
+        if not decoy_pool:
+            return None
+        fi = _pick(rng, multi)
+        fj = _pick(rng, decoy_pool)
+        if fi == fj:
+            continue
+        loads = [g for g in _gate_loads(circuit, fi) if g != fj]
+        if not loads:
+            continue
+        gi = _pick(rng, loads)
+        try:
+            mux = insert_key_mux(
+                circuit, ki, true_net=fi, false_net=fj, load_gate=gi, rng=rng
+            )
+        except LockingError:
+            continue
+        return Locality(strategy, (mux,))
+    return None
+
+
+def _try_s4(
+    circuit: Circuit, ki: int, rng: np.random.Generator
+) -> Locality | None:
+    """S4: no source restrictions, one key bit drives two MUXes."""
+    sources = _source_nets(circuit)
+    for _ in range(_TRIES):
+        if len(sources) < 2:
+            return None
+        fi, fj = _pick(rng, sources), _pick(rng, sources)
+        if fi == fj:
+            continue
+        loads_i = [g for g in _gate_loads(circuit, fi) if g != fj]
+        loads_j = [g for g in _gate_loads(circuit, fj) if g != fi]
+        if not loads_i or not loads_j:
+            continue
+        gi, gj = _pick(rng, loads_i), _pick(rng, loads_j)
+        if gi == gj:
+            continue
+        try:
+            mux_i, mux_j = _insert_pair(
+                circuit, ki, ki, fi, fj, gi, gj, rng, same_order=False
+            )
+        except LockingError:
+            continue
+        return Locality(Strategy.S4, (mux_i, mux_j))
+    return None
+
+
+def lock_dmux(
+    circuit: Circuit,
+    key_size: int,
+    seed: int = 0,
+    name: str | None = None,
+) -> LockedCircuit:
+    """Lock *circuit* with eD-MUX using *key_size* key bits.
+
+    The strategy for each step is drawn uniformly from the viable subset of
+    {S1, S2, S3}; S4 is used only when none of them applies (eD-MUX cost
+    policy).  The key itself is a by-product of the random data-pin
+    orderings, hence uniformly random.
+
+    Raises:
+        LockingError: when the circuit cannot absorb *key_size* bits.
+    """
+    if key_size < 1:
+        raise LockingError("key_size must be positive")
+    rng = np.random.default_rng(seed)
+    locked = circuit.copy(name or f"{circuit.name}_dmux_k{key_size}")
+    localities: list[Locality] = []
+    bit = 0
+    while bit < key_size:
+        remaining = key_size - bit
+        locality: Locality | None = None
+        # Permute indices, not the enum list: numpy would coerce the
+        # members to numpy strings and break identity checks.
+        cheap = (Strategy.S1, Strategy.S2, Strategy.S3)
+        order = [cheap[i] for i in rng.permutation(len(cheap))]
+        for strategy in order:
+            if strategy is Strategy.S1:
+                if remaining < 2:
+                    continue
+                locality = _try_s1(locked, bit, bit + 1, rng)
+            else:
+                locality = _try_single_mux(locked, bit, rng, strategy)
+            if locality is not None:
+                break
+        if locality is None:
+            locality = _try_s4(locked, bit, rng)
+        if locality is None:
+            raise LockingError(
+                f"{circuit.name}: no viable locality for key bit {bit} "
+                f"(circuit too small for key size {key_size})"
+            )
+        localities.append(locality)
+        bit += len(locality.key_indices())
+
+    key_bits = {
+        m.key_index: m.select_for_true
+        for loc in localities
+        for m in loc.muxes
+    }
+    locked.validate()
+    return LockedCircuit(
+        circuit=locked,
+        key=format_key(key_bits, key_size),
+        localities=localities,
+        scheme=DMUX_SCHEME,
+        original_name=circuit.name,
+    )

@@ -1,0 +1,77 @@
+"""Key-input conventions shared by every locking scheme.
+
+Key inputs are primary inputs named ``keyinput0, keyinput1, …`` — the naming
+convention of the logic-locking BENCH corpus, which is also how MuxLink's
+first step *identifies* the key gates (tracing key inputs from the
+tamper-proof memory, paper Sec. III-A).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.netlist import Circuit
+
+__all__ = [
+    "KEY_INPUT_PREFIX",
+    "key_input_name",
+    "key_input_index",
+    "is_key_input",
+    "key_inputs_of",
+    "format_key",
+    "parse_key",
+]
+
+KEY_INPUT_PREFIX = "keyinput"
+
+_KEY_RE = re.compile(rf"^{KEY_INPUT_PREFIX}(\d+)$")
+
+
+def key_input_name(index: int) -> str:
+    """Net name of key bit *index*."""
+    if index < 0:
+        raise ValueError("key index must be non-negative")
+    return f"{KEY_INPUT_PREFIX}{index}"
+
+
+def key_input_index(net: str) -> int:
+    """Inverse of :func:`key_input_name`.
+
+    Raises:
+        ValueError: if *net* is not a key-input name.
+    """
+    match = _KEY_RE.match(net)
+    if not match:
+        raise ValueError(f"{net!r} is not a key input")
+    return int(match.group(1))
+
+
+def is_key_input(net: str) -> bool:
+    return _KEY_RE.match(net) is not None
+
+
+def key_inputs_of(circuit: Circuit) -> tuple[str, ...]:
+    """Key-input nets of *circuit* ordered by index."""
+    found = [pi for pi in circuit.inputs if is_key_input(pi)]
+    return tuple(sorted(found, key=key_input_index))
+
+
+def format_key(bits: dict[int, int], n_bits: int) -> str:
+    """Render a ``{index: bit}`` mapping as a key string (index 0 first)."""
+    chars = []
+    for i in range(n_bits):
+        if i not in bits:
+            raise ValueError(f"missing key bit {i}")
+        chars.append(str(bits[i]))
+    return "".join(chars)
+
+
+def parse_key(key: str) -> dict[int, int]:
+    """Parse a key string into ``{index: bit}`` (``x`` bits are skipped)."""
+    out: dict[int, int] = {}
+    for i, ch in enumerate(key):
+        if ch in "01":
+            out[i] = int(ch)
+        elif ch not in "xX":
+            raise ValueError(f"invalid key character {ch!r} at position {i}")
+    return out

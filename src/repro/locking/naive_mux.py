@@ -1,0 +1,103 @@
+"""Naive MUX-based locking (paper Fig. 1 ③) — the SAAM-vulnerable baseline.
+
+Each key bit inserts one MUX between a randomly chosen true wire and a
+random decoy, with no regard for circuit reduction: when the true wire has
+a single load, the wrong key value leaves it dangling — the structural
+signal SAAM exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LockingError
+from repro.locking.common import Locality, LockedCircuit, Strategy, insert_key_mux
+from repro.locking.keys import format_key
+from repro.netlist import Circuit, GateType
+
+__all__ = ["lock_naive_mux", "NAIVE_MUX_SCHEME"]
+
+NAIVE_MUX_SCHEME = "naive-MUX"
+
+_TRIES = 100
+
+
+def lock_naive_mux(
+    circuit: Circuit,
+    key_size: int,
+    seed: int = 0,
+    name: str | None = None,
+    prefer_single_output: bool = True,
+) -> LockedCircuit:
+    """Lock *circuit* with naive MUX locking.
+
+    Args:
+        prefer_single_output: bias true-wire selection to single-load nets,
+            which maximizes the SAAM-visible reduction (the paper's point is
+            that naive insertion does not avoid this).
+    """
+    if key_size < 1:
+        raise LockingError("key_size must be positive")
+    rng = np.random.default_rng(seed)
+    locked = circuit.copy(name or f"{circuit.name}_naive_k{key_size}")
+    localities: list[Locality] = []
+
+    for bit in range(key_size):
+        inserted = None
+        for _ in range(_TRIES):
+            sources = [
+                n
+                for n in locked.gate_names
+                if locked.gate(n).gate_type is not GateType.MUX
+            ]
+            if prefer_single_output:
+                singles = [n for n in sources if locked.fanout_size(n) == 1]
+                pool = singles or sources
+            else:
+                pool = sources
+            if not pool:
+                break
+            true_net = pool[int(rng.integers(len(pool)))]
+            loads = [
+                g
+                for g in locked.fanout(true_net)
+                if locked.gate(g).gate_type is not GateType.MUX
+            ]
+            if not loads:
+                continue
+            load = loads[int(rng.integers(len(loads)))]
+            decoys = [
+                n for n in sources if n != true_net and n != load
+            ]
+            if not decoys:
+                continue
+            decoy = decoys[int(rng.integers(len(decoys)))]
+            try:
+                inserted = insert_key_mux(
+                    locked, bit, true_net=true_net, false_net=decoy,
+                    load_gate=load, rng=rng,
+                )
+            except LockingError:
+                continue
+            break
+        if inserted is None:
+            raise LockingError(
+                f"{circuit.name}: cannot place naive MUX for key bit {bit}"
+            )
+        # Naive locking has no pair structure; each MUX is its own locality
+        # tagged S2 (single MUX, single key input).
+        localities.append(Locality(Strategy.S2, (inserted,)))
+
+    key_bits = {
+        m.key_index: m.select_for_true
+        for loc in localities
+        for m in loc.muxes
+    }
+    locked.validate()
+    return LockedCircuit(
+        circuit=locked,
+        key=format_key(key_bits, key_size),
+        localities=localities,
+        scheme=NAIVE_MUX_SCHEME,
+        original_name=circuit.name,
+    )

@@ -1,0 +1,104 @@
+"""Symmetric MUX-based locking — strategy S5 (Alaql et al., TVLSI 2021).
+
+S5 is the special case of S4 where the two MUXes of a locality are driven by
+*individual* key inputs and the sources ``{fi, fj}`` are single-output nodes.
+Both MUXes share the same data-pin order, so each locality's two correct key
+bits are complementary — which is why, under the same key size, symmetric
+locking obfuscates fewer localities than D-MUX (paper Sec. IV, "Effect of
+the LL Scheme").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LockingError
+from repro.locking.common import Locality, LockedCircuit, Strategy
+from repro.locking.dmux import _gate_loads, _insert_pair, _pick, _source_nets
+from repro.locking.keys import format_key
+from repro.netlist import Circuit
+
+__all__ = ["lock_symmetric", "SYMMETRIC_SCHEME"]
+
+SYMMETRIC_SCHEME = "Symmetric-MUX"
+
+_TRIES = 120
+
+
+def _try_s5(
+    circuit: Circuit, ki: int, kj: int, rng: np.random.Generator
+) -> Locality | None:
+    sources = _source_nets(circuit)
+    single = [n for n in sources if circuit.fanout_size(n) == 1]
+    for attempt in range(_TRIES):
+        # Strict S5 wants one-output sources; if the pool has run dry fall
+        # back to arbitrary sources (keeps large keys lockable — documented
+        # deviation, the locality shape is unchanged).
+        pool = single if single and attempt < _TRIES // 2 else sources
+        if len(pool) < 2:
+            return None
+        fi, fj = _pick(rng, pool), _pick(rng, pool)
+        if fi == fj:
+            continue
+        loads_i = [g for g in _gate_loads(circuit, fi) if g != fj]
+        loads_j = [g for g in _gate_loads(circuit, fj) if g != fi]
+        if not loads_i or not loads_j:
+            continue
+        gi, gj = _pick(rng, loads_i), _pick(rng, loads_j)
+        if gi == gj:
+            continue
+        try:
+            mux_i, mux_j = _insert_pair(
+                circuit, ki, kj, fi, fj, gi, gj, rng, same_order=True
+            )
+        except LockingError:
+            continue
+        return Locality(Strategy.S5, (mux_i, mux_j))
+    return None
+
+
+def lock_symmetric(
+    circuit: Circuit,
+    key_size: int,
+    seed: int = 0,
+    name: str | None = None,
+) -> LockedCircuit:
+    """Lock *circuit* with symmetric MUX-based locking (S5).
+
+    Args:
+        circuit: source netlist (unchanged).
+        key_size: number of key bits; must be even (each locality consumes
+            two individual key inputs).
+        seed: RNG seed controlling locality selection and pin order.
+        name: name for the locked circuit.
+
+    Raises:
+        LockingError: odd key size or not enough viable localities.
+    """
+    if key_size < 2 or key_size % 2 != 0:
+        raise LockingError("symmetric locking needs a positive even key size")
+    rng = np.random.default_rng(seed)
+    locked = circuit.copy(name or f"{circuit.name}_sym_k{key_size}")
+    localities: list[Locality] = []
+    for bit in range(0, key_size, 2):
+        locality = _try_s5(locked, bit, bit + 1, rng)
+        if locality is None:
+            raise LockingError(
+                f"{circuit.name}: no viable S5 locality for key bits "
+                f"{bit},{bit + 1}"
+            )
+        localities.append(locality)
+
+    key_bits = {
+        m.key_index: m.select_for_true
+        for loc in localities
+        for m in loc.muxes
+    }
+    locked.validate()
+    return LockedCircuit(
+        circuit=locked,
+        key=format_key(key_bits, key_size),
+        localities=localities,
+        scheme=SYMMETRIC_SCHEME,
+        original_name=circuit.name,
+    )

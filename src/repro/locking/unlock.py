@@ -1,0 +1,34 @@
+"""Applying a key to a locked netlist (functional unlock)."""
+
+from __future__ import annotations
+
+from repro.locking.keys import key_input_name, parse_key
+from repro.netlist import Circuit
+from repro.opt import cleanup as cleanup_pass
+from repro.opt import propagate_constants
+
+__all__ = ["apply_key"]
+
+
+def apply_key(circuit: Circuit, key: str, simplify: bool = True) -> Circuit:
+    """Hard-code *key* into *circuit* and fold the key logic away.
+
+    Args:
+        circuit: a locked netlist whose key inputs follow the
+            ``keyinput<i>`` convention.
+        key: key string (``0``/``1``; ``x`` bits are left symbolic, i.e.
+            their key inputs and MUXes survive).
+        simplify: also run structural cleanup (buffer collapse + dead-logic
+            removal) so a correct key reproduces the original gate count.
+
+    Returns:
+        The unlocked circuit (input list no longer contains assigned key
+        inputs).
+    """
+    assignments = {
+        key_input_name(i): bit for i, bit in parse_key(key).items()
+    }
+    out = propagate_constants(circuit, assignments, name=f"{circuit.name}_unlocked")
+    if simplify:
+        out = cleanup_pass(out)
+    return out

@@ -1,0 +1,80 @@
+"""Conventional XOR/XNOR logic locking (paper Fig. 1 ②).
+
+Included as the classic baseline whose *key leakage* motivated
+learning-resilient locking: the inserted gate type (XOR vs XNOR) maps
+directly onto the key-bit value unless re-synthesis hides it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LockingError
+from repro.locking.common import LockedCircuit
+from repro.locking.keys import format_key, key_input_name
+from repro.netlist import Circuit, Gate, GateType
+
+__all__ = ["lock_xor", "XOR_SCHEME"]
+
+XOR_SCHEME = "XOR"
+
+
+def lock_xor(
+    circuit: Circuit,
+    key_size: int,
+    seed: int = 0,
+    name: str | None = None,
+) -> LockedCircuit:
+    """Insert *key_size* XOR/XNOR key gates on random wires.
+
+    A key bit of 0 inserts ``XOR(keyinput, wire)``, a key bit of 1 inserts
+    ``XNOR(keyinput, wire)``; both are transparent under the correct key.
+    Every load of the chosen wire (gates and primary outputs) is moved to
+    the key-gate output.
+
+    Raises:
+        LockingError: if the circuit has fewer lockable wires than key bits.
+    """
+    if key_size < 1:
+        raise LockingError("key_size must be positive")
+    rng = np.random.default_rng(seed)
+    locked = circuit.copy(name or f"{circuit.name}_xor_k{key_size}")
+
+    key_bits: dict[int, int] = {}
+    lockable = [
+        n
+        for n in locked.gate_names
+        if locked.gate(n).gate_type is not GateType.MUX
+    ]
+    if len(lockable) < key_size:
+        raise LockingError(
+            f"{circuit.name}: only {len(lockable)} lockable wires for "
+            f"key size {key_size}"
+        )
+    chosen = rng.choice(len(lockable), size=key_size, replace=False)
+    for bit, idx in enumerate(sorted(int(i) for i in chosen)):
+        wire = lockable[idx]
+        value = int(rng.integers(2))
+        key_net = key_input_name(bit)
+        locked.add_input(key_net)
+        gate_type = GateType.XNOR if value else GateType.XOR
+        # The key gate takes over the locked wire's name so the circuit
+        # interface (PO names) is preserved; the original driver moves to
+        # an `_enc` net, mirroring how locking tools rename nets.
+        enc = locked.fresh_name(f"{wire}_enc")
+        locked.rename_gate(wire, enc)
+        locked.add_gate(Gate(wire, gate_type, (key_net, enc)))
+        for load in list(locked.fanout(enc)):
+            if load != wire:
+                locked.rewire_input(load, enc, wire)
+        locked.redirect_output(enc, wire)
+        key_bits[bit] = value
+
+    locked.validate()
+    return LockedCircuit(
+        circuit=locked,
+        key=format_key(key_bits, key_size),
+        localities=[],
+        scheme=XOR_SCHEME,
+        original_name=circuit.name,
+    )

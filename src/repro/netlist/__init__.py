@@ -1,0 +1,42 @@
+"""Netlist substrate: gates, circuits, BENCH I/O and structural analysis."""
+
+from repro.netlist.analysis import (
+    area_estimate,
+    fanout_profile,
+    gate_level_map,
+    lockable_nets,
+    multi_output_nets,
+    single_output_nets,
+    switching_estimate,
+)
+from repro.netlist.bench import dump_bench, load_bench, parse_bench, write_bench
+from repro.netlist.circuit import Circuit, CircuitStats, Gate
+from repro.netlist.gates import (
+    FEATURE_GATE_ORDER,
+    NUM_GATE_FEATURES,
+    GateType,
+    evaluate_gate,
+    gate_feature_index,
+)
+
+__all__ = [
+    "Circuit",
+    "CircuitStats",
+    "Gate",
+    "GateType",
+    "FEATURE_GATE_ORDER",
+    "NUM_GATE_FEATURES",
+    "evaluate_gate",
+    "gate_feature_index",
+    "parse_bench",
+    "load_bench",
+    "write_bench",
+    "dump_bench",
+    "multi_output_nets",
+    "single_output_nets",
+    "lockable_nets",
+    "gate_level_map",
+    "area_estimate",
+    "switching_estimate",
+    "fanout_profile",
+]

@@ -1,0 +1,114 @@
+"""Higher-level structural analyses over :class:`~repro.netlist.Circuit`.
+
+These helpers serve three consumers:
+
+* the locking passes (multi-output node enumeration, loop-safety checks),
+* the SWEEP/SCOPE feature extractors (area / switching proxies),
+* the experiment reports (size ordering for the Fig. 7 trend lines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+
+__all__ = [
+    "multi_output_nets",
+    "single_output_nets",
+    "lockable_nets",
+    "gate_level_map",
+    "area_estimate",
+    "switching_estimate",
+    "FanoutProfile",
+    "fanout_profile",
+]
+
+#: Relative area of each primitive in generic gate-equivalents (NAND2 = 1.0).
+#: Used only as a *feature* for constant-propagation attacks; absolute
+#: calibration is irrelevant as the attacks compare deltas.
+_AREA_WEIGHTS: dict[GateType, float] = {
+    GateType.NAND: 1.0,
+    GateType.NOR: 1.0,
+    GateType.AND: 1.25,
+    GateType.OR: 1.25,
+    GateType.NOT: 0.75,
+    GateType.BUF: 0.75,
+    GateType.XOR: 2.25,
+    GateType.XNOR: 2.25,
+    GateType.MUX: 2.5,
+}
+
+
+def multi_output_nets(circuit: Circuit, gates_only: bool = True) -> list[str]:
+    """Nets driving more than one load (D-MUX "multi-output nodes").
+
+    Args:
+        circuit: netlist to analyse.
+        gates_only: when True, only gate-driven nets qualify (primary inputs
+            are never locked by the schemes reproduced here).
+    """
+    candidates = circuit.gate_names if gates_only else circuit.nets
+    return [net for net in candidates if circuit.fanout_size(net) > 1]
+
+
+def single_output_nets(circuit: Circuit, gates_only: bool = True) -> list[str]:
+    """Nets driving exactly one load."""
+    candidates = circuit.gate_names if gates_only else circuit.nets
+    return [net for net in candidates if circuit.fanout_size(net) == 1]
+
+
+def lockable_nets(circuit: Circuit) -> list[str]:
+    """Gate-driven nets with at least one load — candidates for MUX locking."""
+    return [net for net in circuit.gate_names if circuit.fanout_size(net) >= 1]
+
+
+def gate_level_map(circuit: Circuit) -> dict[str, int]:
+    """Topological level of every net (primary inputs at level 0)."""
+    levels: dict[str, int] = {pi: 0 for pi in circuit.inputs}
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        levels[name] = 1 + max((levels[n] for n in gate.inputs), default=0)
+    return levels
+
+
+def area_estimate(circuit: Circuit) -> float:
+    """Total area in gate-equivalents (SWEEP/SCOPE feature)."""
+    return sum(_AREA_WEIGHTS[g.gate_type] for g in circuit.gates)
+
+
+def switching_estimate(circuit: Circuit) -> float:
+    """Crude dynamic-power proxy: area-weighted fan-out activity.
+
+    SWEEP extracts power/area features from synthesis reports; we emulate the
+    power column with a topology-only proxy so the attack sees a feature that
+    *would* shift if constant propagation pruned logic asymmetrically.
+    """
+    total = 0.0
+    for gate in circuit.gates:
+        loads = circuit.fanout_size(gate.name)
+        total += _AREA_WEIGHTS[gate.gate_type] * (1 + 0.5 * loads)
+    return total
+
+
+@dataclass(frozen=True)
+class FanoutProfile:
+    """Fan-out distribution summary of a circuit."""
+
+    mean: float
+    maximum: int
+    multi_output_fraction: float
+
+
+def fanout_profile(circuit: Circuit) -> FanoutProfile:
+    """Summarize the fan-out distribution over gate-driven nets."""
+    sizes = [circuit.fanout_size(net) for net in circuit.gate_names]
+    if not sizes:
+        return FanoutProfile(mean=0.0, maximum=0, multi_output_fraction=0.0)
+    multi = sum(1 for s in sizes if s > 1)
+    return FanoutProfile(
+        mean=sum(sizes) / len(sizes),
+        maximum=max(sizes),
+        multi_output_fraction=multi / len(sizes),
+    )

@@ -1,0 +1,35 @@
+"""From-scratch numpy autograd substrate (PyTorch substitute)."""
+
+from repro.nn.functional import (
+    conv1d,
+    dropout,
+    log_softmax,
+    max_pool1d,
+    softmax,
+    softmax_cross_entropy,
+)
+from repro.nn.layers import Conv1d, Dropout, GraphConv, Linear, Module
+from repro.nn.optim import SGD, Adam
+from repro.nn.tensor import Tensor, concat, relu, sigmoid, spmm, tanh
+
+__all__ = [
+    "Tensor",
+    "spmm",
+    "concat",
+    "relu",
+    "tanh",
+    "sigmoid",
+    "conv1d",
+    "max_pool1d",
+    "dropout",
+    "log_softmax",
+    "softmax",
+    "softmax_cross_entropy",
+    "Module",
+    "Linear",
+    "Conv1d",
+    "Dropout",
+    "GraphConv",
+    "Adam",
+    "SGD",
+]

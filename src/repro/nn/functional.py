@@ -1,0 +1,156 @@
+"""Neural-net operations beyond basic tensor arithmetic.
+
+These are the pieces the DGCNN head needs: 1-D convolution, max-pooling,
+dropout and the softmax cross-entropy loss.  Each is an autograd node with
+an exact gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "conv1d",
+    "max_pool1d",
+    "dropout",
+    "log_softmax",
+    "softmax_cross_entropy",
+    "softmax",
+]
+
+
+def conv1d(x: Tensor, weight: Tensor, bias: Tensor, stride: int = 1) -> Tensor:
+    """1-D convolution.
+
+    Args:
+        x: input of shape ``(batch, c_in, length)``.
+        weight: kernel of shape ``(c_out, c_in, k)``.
+        bias: per-channel bias of shape ``(c_out,)``.
+        stride: kernel stride.
+
+    Returns:
+        Tensor of shape ``(batch, c_out, (length - k) // stride + 1)``.
+    """
+    batch, c_in, length = x.shape
+    c_out, c_in_w, k = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"channel mismatch: input {c_in}, weight {c_in_w}")
+    t_out = (length - k) // stride + 1
+    if t_out < 1:
+        raise ValueError(
+            f"kernel {k} with stride {stride} does not fit length {length}"
+        )
+
+    # im2col: (batch, c_in * k, t_out)
+    cols = np.empty((batch, c_in * k, t_out), dtype=np.float64)
+    for tap in range(k):
+        segment = x.data[:, :, tap : tap + stride * t_out : stride]
+        cols[:, tap * c_in : (tap + 1) * c_in, :] = segment
+    w2 = weight.data.transpose(0, 2, 1).reshape(c_out, k * c_in)
+    out = np.einsum("of,bft->bot", w2, cols) + bias.data[None, :, None]
+
+    def backward(grad: np.ndarray) -> None:
+        # grad: (batch, c_out, t_out)
+        if bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2)))
+        if weight.requires_grad:
+            gw2 = np.einsum("bot,bft->of", grad, cols)
+            weight._accumulate(
+                gw2.reshape(c_out, k, c_in).transpose(0, 2, 1)
+            )
+        if x.requires_grad:
+            gcols = np.einsum("of,bot->bft", w2, grad)
+            gx = np.zeros_like(x.data)
+            for tap in range(k):
+                seg = gcols[:, tap * c_in : (tap + 1) * c_in, :]
+                gx[:, :, tap : tap + stride * t_out : stride] += seg
+            x._accumulate(gx)
+
+    return Tensor._make(out, (x, weight, bias), backward)
+
+
+def max_pool1d(x: Tensor, size: int, stride: int | None = None) -> Tensor:
+    """Max pooling over the last axis of a ``(batch, c, length)`` tensor."""
+    stride = stride or size
+    batch, channels, length = x.shape
+    t_out = (length - size) // stride + 1
+    if t_out < 1:
+        raise ValueError(f"pool size {size} does not fit length {length}")
+
+    windows = np.empty((batch, channels, t_out, size), dtype=np.float64)
+    for tap in range(size):
+        windows[:, :, :, tap] = x.data[:, :, tap : tap + stride * t_out : stride]
+    arg = windows.argmax(axis=3)
+    out = np.take_along_axis(windows, arg[..., None], axis=3)[..., 0]
+
+    def backward(grad: np.ndarray) -> None:
+        gx = np.zeros_like(x.data)
+        b_idx, c_idx, t_idx = np.meshgrid(
+            np.arange(batch), np.arange(channels), np.arange(t_out),
+            indexing="ij",
+        )
+        source = t_idx * stride + arg
+        np.add.at(gx, (b_idx, c_idx, source), grad)
+        x._accumulate(gx)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def dropout(
+    x: Tensor, rate: float, rng: np.random.Generator, training: bool = True
+) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1 / (1 - rate)``."""
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+    if not training or rate == 0.0:
+        return x
+    mask = (rng.random(x.shape) >= rate) / (1.0 - rate)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward)
+
+
+def _log_softmax_data(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+def log_softmax(x: Tensor) -> Tensor:
+    """Numerically stable log-softmax over the last axis."""
+    data = _log_softmax_data(x.data)
+    probs = np.exp(data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad - probs * grad.sum(axis=-1, keepdims=True))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def softmax(x: Tensor) -> Tensor:
+    """Softmax over the last axis (via exp of log-softmax for stability)."""
+    return log_softmax(x).exp()
+
+
+def softmax_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``(batch, classes)`` logits and int labels."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2 or labels.shape != (logits.shape[0],):
+        raise ValueError(
+            f"expected (batch, classes) logits and (batch,) labels, got "
+            f"{logits.shape} and {labels.shape}"
+        )
+    log_probs = _log_softmax_data(logits.data)
+    batch = logits.shape[0]
+    loss = -log_probs[np.arange(batch), labels].mean()
+    probs = np.exp(log_probs)
+
+    def backward(grad: np.ndarray) -> None:
+        g = probs.copy()
+        g[np.arange(batch), labels] -= 1.0
+        logits._accumulate(grad * g / batch)
+
+    return Tensor._make(np.asarray(loss), (logits,), backward)

@@ -1,0 +1,138 @@
+"""Layer / module abstractions over the autograd tensors."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.nn.functional import conv1d, dropout
+from repro.nn.tensor import Tensor, spmm
+
+__all__ = ["Module", "Linear", "Conv1d", "Dropout", "GraphConv"]
+
+
+class Module:
+    """Base class: parameter discovery and train/eval mode switching."""
+
+    def parameters(self) -> list[Tensor]:
+        """All trainable tensors of this module and its sub-modules."""
+        params: list[Tensor] = []
+        for value in self.__dict__.values():
+            if isinstance(value, Tensor) and value.requires_grad:
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        params.extend(item.parameters())
+        return params
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self) -> None:
+        self._set_mode(True)
+
+    def eval(self) -> None:
+        self._set_mode(False)
+
+    def _set_mode(self, training: bool) -> None:
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                value._set_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+        if hasattr(self, "training"):
+            self.training = training
+
+    def state_dict(self) -> list[np.ndarray]:
+        """Flat list of parameter arrays (load with :meth:`load_state_dict`)."""
+        return [p.data.copy() for p in self.parameters()]
+
+    def load_state_dict(self, state: list[np.ndarray]) -> None:
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ValueError(
+                f"state has {len(state)} arrays, model has {len(params)}"
+            )
+        for param, data in zip(params, state):
+            if param.data.shape != data.shape:
+                raise ValueError(
+                    f"shape mismatch {param.data.shape} vs {data.shape}"
+                )
+            param.data = data.copy()
+
+
+def _glorot(rng: np.random.Generator, *shape: int) -> np.ndarray:
+    fan_in, fan_out = shape[-1], shape[0]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
+        self.weight = Tensor(
+            _glorot(rng, in_features, out_features), requires_grad=True
+        )
+        self.bias = Tensor(np.zeros(out_features), requires_grad=True)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return x @ self.weight + self.bias
+
+
+class Conv1d(Module):
+    """1-D convolution layer over ``(batch, c_in, length)`` inputs."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+    ):
+        scale = np.sqrt(2.0 / (in_channels * kernel_size))
+        self.weight = Tensor(
+            rng.normal(0.0, scale, size=(out_channels, in_channels, kernel_size)),
+            requires_grad=True,
+        )
+        self.bias = Tensor(np.zeros(out_channels), requires_grad=True)
+        self.stride = stride
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return conv1d(x, self.weight, self.bias, stride=self.stride)
+
+
+class Dropout(Module):
+    """Inverted dropout with its own RNG stream."""
+
+    def __init__(self, rate: float, rng: np.random.Generator):
+        self.rate = rate
+        self.rng = rng
+        self.training = True
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return dropout(x, self.rate, self.rng, training=self.training)
+
+
+class GraphConv(Module):
+    """DGCNN graph convolution (paper Eq. 4).
+
+    Computes ``H' = act( D^-1 (A + I) H W )`` where the normalized operator
+    ``D^-1 (A + I)`` is precomputed by the batcher and passed as a constant
+    sparse matrix.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, rng: np.random.Generator):
+        self.weight = Tensor(
+            _glorot(rng, in_channels, out_channels), requires_grad=True
+        )
+
+    def __call__(self, norm_adj: sp.spmatrix, h: Tensor) -> Tensor:
+        return spmm(norm_adj, h @ self.weight).tanh()

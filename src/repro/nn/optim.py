@@ -1,0 +1,65 @@
+"""Optimizers: Adam (the paper's choice) and plain SGD."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["Adam", "SGD"]
+
+
+class SGD:
+    """Vanilla stochastic gradient descent."""
+
+    def __init__(self, params: list[Tensor], lr: float = 0.01):
+        self.params = list(params)
+        self.lr = lr
+
+    def step(self) -> None:
+        for param in self.params:
+            if param.grad is not None:
+                param.data -= self.lr * param.grad
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+
+class Adam:
+    """Adam with bias correction (Kingma & Ba, 2015).
+
+    The paper trains DGCNN with "stochastic gradient descent with the Adam
+    updating rule" at an initial learning rate of 1e-4.
+    """
+
+    def __init__(
+        self,
+        params: list[Tensor],
+        lr: float = 1e-4,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ):
+        self.params = list(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.t = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.t += 1
+        for i, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * grad
+            self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * grad**2
+            m_hat = self._m[i] / (1 - self.beta1**self.t)
+            v_hat = self._v[i] / (1 - self.beta2**self.t)
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()

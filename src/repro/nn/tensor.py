@@ -1,0 +1,336 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+The offline environment has no PyTorch, so this module provides the tensor
+runtime the DGCNN is built on: a :class:`Tensor` records the operations that
+produced it and :meth:`Tensor.backward` walks the tape in reverse
+topological order, accumulating gradients.
+
+Only the operations the DGCNN needs are implemented, each with an exact
+(non-approximated) gradient.  Everything is float64 for well-conditioned
+gradient checks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["Tensor", "spmm", "concat", "relu", "tanh", "sigmoid"]
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce *grad* back to *shape* after numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum away leading broadcast axes.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum axes that were 1 in the original shape.
+    for axis, dim in enumerate(shape):
+        if dim == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """A numpy array with an autograd tape.
+
+    Args:
+        data: array-like payload (stored as float64).
+        requires_grad: participate in gradient computation.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple["Tensor", ...] = ()
+
+    # ------------------------------------------------------------- plumbing
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tensor(shape={self.shape}, grad={self.requires_grad})"
+
+    @staticmethod
+    def _lift(value) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        out = Tensor(data, requires_grad=any(p.requires_grad for p in parents))
+        if out.requires_grad:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Back-propagate from this tensor (defaults to d(self)/d(self)=1)."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without grad requires a scalar")
+            grad = np.ones_like(self.data)
+        # Reverse topological order over the tape.
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen or not node.requires_grad:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                stack.append((parent, False))
+
+        # Seed, then walk consumers-before-producers; every closure
+        # accumulates into its parents' ``.grad`` via ``_accumulate``, so by
+        # the time a node is visited its gradient is complete.
+        self._accumulate(np.asarray(grad, dtype=np.float64))
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data.copy())
+
+    def item(self) -> float:
+        return float(self.data)
+
+    # ----------------------------------------------------------- arithmetic
+    def __add__(self, other) -> "Tensor":
+        other = self._lift(other)
+        data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, self.shape))
+            other._accumulate(_unbroadcast(grad, other.shape))
+
+        return self._make(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._lift(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._lift(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._lift(other)
+        data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return self._make(data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._lift(other)
+        data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            other._accumulate(
+                _unbroadcast(-grad * self.data / (other.data**2), other.shape)
+            )
+
+        return self._make(data, (self, other), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._lift(other)
+        data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad @ other.data.T)
+            other._accumulate(self.data.T @ grad)
+
+        return self._make(data, (self, other), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return self._make(data, (self,), backward)
+
+    # ------------------------------------------------------------ reshaping
+    def reshape(self, *shape: int) -> "Tensor":
+        data = self.data.reshape(*shape)
+        old_shape = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(old_shape))
+
+        return self._make(data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes = axes or tuple(reversed(range(self.ndim)))
+        data = self.data.transpose(axes)
+        inverse = tuple(np.argsort(axes))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.transpose(inverse))
+
+        return self._make(data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def gather_rows(self, indices: np.ndarray) -> "Tensor":
+        """Select rows; an index of ``-1`` yields a zero row (padding).
+
+        Gradient scatters back additively into the selected rows.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        padded = np.zeros((indices.shape[0],) + self.shape[1:], dtype=np.float64)
+        valid = indices >= 0
+        padded[valid] = self.data[indices[valid]]
+
+        def backward(grad: np.ndarray) -> None:
+            out = np.zeros_like(self.data)
+            np.add.at(out, indices[valid], grad[valid])
+            self._accumulate(out)
+
+        return self._make(padded, (self,), backward)
+
+    # ----------------------------------------------------------- reductions
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        return self._make(data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    # ---------------------------------------------------------- activations
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - data**2))
+
+        return self._make(data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        data = np.maximum(self.data, 0.0)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (self.data > 0))
+
+        return self._make(data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * data * (1.0 - data))
+
+        return self._make(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        return self._make(data, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * data)
+
+        return self._make(data, (self,), backward)
+
+
+def spmm(matrix: sp.spmatrix, tensor: Tensor) -> Tensor:
+    """Sparse @ dense with gradient through the dense side.
+
+    The sparse *matrix* is a constant (the normalized adjacency); only the
+    node-feature tensor receives a gradient: ``d(A @ H)/dH = A.T @ grad``.
+    """
+    matrix = matrix.tocsr()
+    data = matrix @ tensor.data
+
+    def backward(grad: np.ndarray) -> None:
+        tensor._accumulate(matrix.T @ grad)
+
+    return Tensor._make(data, (tensor,), backward)
+
+
+def concat(tensors: list[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate along *axis*; gradient splits back to the inputs."""
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(start, stop)
+            t._accumulate(grad[tuple(slicer)])
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def relu(t: Tensor) -> Tensor:
+    return t.relu()
+
+
+def tanh(t: Tensor) -> Tensor:
+    return t.tanh()
+
+
+def sigmoid(t: Tensor) -> Tensor:
+    return t.sigmoid()

@@ -1,0 +1,226 @@
+"""Constant propagation — the re-synthesis core of SWEEP and SCOPE.
+
+Both constant-propagation attacks hard-code one key input at a time and
+observe how strongly the design simplifies under each value.  This module
+implements that simplification: given ``net → 0/1`` assignments, it rebuilds
+the circuit with all implied constants folded away.
+
+Folding rules (per gate type):
+
+* ``AND/NAND`` — a controlling 0 collapses the gate; 1-inputs are dropped.
+* ``OR/NOR`` — dual, with controlling 1.
+* ``XOR/XNOR`` — constant inputs fold into the gate's output parity.
+* ``NOT/BUF`` — evaluate or alias.
+* ``MUX`` — constant select picks a branch; constant data inputs reduce to
+  AND/OR/NOT networks of the select.
+
+Constant primary outputs are driven by a shared ``XOR(x, x)`` /
+``XNOR(x, x)`` pair so the result remains a pure BENCH netlist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NetlistError
+from repro.netlist import Circuit, Gate, GateType
+
+__all__ = ["propagate_constants", "NetRef"]
+
+
+@dataclass(frozen=True)
+class NetRef:
+    """Resolved value of a net: a constant or an alias to a rebuilt net."""
+
+    const: int | None = None  # 0 / 1 when constant
+    net: str | None = None  # name in the rebuilt circuit otherwise
+
+    @property
+    def is_const(self) -> bool:
+        return self.const is not None
+
+
+class _Builder:
+    """Incrementally constructs the simplified circuit."""
+
+    def __init__(self, name: str):
+        self.circuit = Circuit(name)
+        self._const_nets: dict[int, str] = {}
+
+    def add_input(self, name: str) -> None:
+        self.circuit.add_input(name)
+
+    def emit(self, name: str, gate_type: GateType, inputs: tuple[str, ...]) -> str:
+        self.circuit.add_gate(Gate(name, gate_type, inputs))
+        return name
+
+    def fresh(self, prefix: str) -> str:
+        return self.circuit.fresh_name(prefix)
+
+    def const_net(self, value: int) -> str:
+        """Net holding constant *value*, created on first use.
+
+        When every primary input was assigned away, a fresh anchor input is
+        added — ``XOR(x, x)`` is constant regardless of the anchor's value,
+        so the rebuilt circuit's function is unchanged.
+        """
+        if value not in self._const_nets:
+            if not self.circuit.inputs:
+                self.add_input(self.circuit.fresh_name("CP_ANCHOR"))
+            anchor = self.circuit.inputs[0]
+            gate_type = GateType.XNOR if value else GateType.XOR
+            name = self.fresh(f"CONST{value}")
+            self.emit(name, gate_type, (anchor, anchor))
+            self._const_nets[value] = name
+        return self._const_nets[value]
+
+
+def _resolve(ref: NetRef, builder: _Builder) -> str:
+    """Materialize *ref* as a concrete net name in the rebuilt circuit."""
+    if ref.is_const:
+        return builder.const_net(ref.const)  # type: ignore[arg-type]
+    assert ref.net is not None
+    return ref.net
+
+
+def _fold_and_or(
+    gate: Gate, refs: list[NetRef], builder: _Builder
+) -> NetRef:
+    is_and = gate.gate_type in (GateType.AND, GateType.NAND)
+    inverted = gate.gate_type in (GateType.NAND, GateType.NOR)
+    controlling = 0 if is_and else 1
+    live: list[str] = []
+    for ref in refs:
+        if ref.is_const:
+            if ref.const == controlling:
+                return NetRef(const=controlling ^ 1 if inverted else controlling)
+            continue  # identity value: drop
+        live.append(ref.net)  # type: ignore[arg-type]
+    if not live:
+        value = 1 - controlling
+        return NetRef(const=value ^ 1 if inverted else value)
+    if len(live) == 1:
+        if inverted:
+            return NetRef(net=builder.emit(gate.name, GateType.NOT, (live[0],)))
+        return NetRef(net=live[0])  # pure alias, no gate emitted
+    return NetRef(net=builder.emit(gate.name, gate.gate_type, tuple(live)))
+
+
+def _fold_xor(gate: Gate, refs: list[NetRef], builder: _Builder) -> NetRef:
+    parity = 1 if gate.gate_type is GateType.XNOR else 0
+    live: list[str] = []
+    for ref in refs:
+        if ref.is_const:
+            parity ^= ref.const  # type: ignore[operator]
+        else:
+            live.append(ref.net)  # type: ignore[arg-type]
+    if not live:
+        return NetRef(const=parity)
+    if len(live) == 1:
+        if parity:
+            return NetRef(net=builder.emit(gate.name, GateType.NOT, (live[0],)))
+        return NetRef(net=live[0])
+    gate_type = GateType.XNOR if parity else GateType.XOR
+    return NetRef(net=builder.emit(gate.name, gate_type, tuple(live)))
+
+
+def _fold_mux(gate: Gate, refs: list[NetRef], builder: _Builder) -> NetRef:
+    sel, d0, d1 = refs
+    if sel.is_const:
+        return d1 if sel.const else d0
+    if d0.is_const and d1.is_const:
+        if d0.const == d1.const:
+            return NetRef(const=d0.const)
+        if d1.const == 1:  # MUX(s, 0, 1) = s
+            return NetRef(net=sel.net)
+        return NetRef(net=builder.emit(gate.name, GateType.NOT, (sel.net,)))
+    if not d0.is_const and not d1.is_const and d0.net == d1.net:
+        return NetRef(net=d0.net)  # both branches identical
+    if d0.is_const:
+        if d0.const == 0:  # MUX(s, 0, b) = s AND b
+            return NetRef(
+                net=builder.emit(gate.name, GateType.AND, (sel.net, d1.net))
+            )
+        # MUX(s, 1, b) = NOT(s) OR b
+        inv = builder.emit(builder.fresh(f"{gate.name}_ns"), GateType.NOT, (sel.net,))
+        return NetRef(net=builder.emit(gate.name, GateType.OR, (inv, d1.net)))
+    if d1.is_const:
+        if d1.const == 1:  # MUX(s, a, 1) = s OR a
+            return NetRef(
+                net=builder.emit(gate.name, GateType.OR, (sel.net, d0.net))
+            )
+        # MUX(s, a, 0) = NOT(s) AND a
+        inv = builder.emit(builder.fresh(f"{gate.name}_ns"), GateType.NOT, (sel.net,))
+        return NetRef(net=builder.emit(gate.name, GateType.AND, (inv, d0.net)))
+    return NetRef(
+        net=builder.emit(gate.name, GateType.MUX, (sel.net, d0.net, d1.net))
+    )
+
+
+def propagate_constants(
+    circuit: Circuit,
+    assignments: dict[str, int],
+    name: str | None = None,
+) -> Circuit:
+    """Rebuild *circuit* with the given nets hard-coded to constants.
+
+    Args:
+        circuit: source netlist (unchanged).
+        assignments: ``net → 0/1``; assigned primary inputs are removed from
+            the rebuilt circuit's input list (they no longer exist).
+        name: name of the rebuilt circuit (default: ``<old>_cp``).
+
+    Returns:
+        The simplified circuit.  Primary outputs keep their position; a PO
+        whose cone collapses to a constant is driven by a shared
+        ``XOR/XNOR(x, x)`` constant net.
+    """
+    for net, value in assignments.items():
+        if not circuit.has_net(net):
+            raise NetlistError(f"cannot assign unknown net {net!r}")
+        if value not in (0, 1):
+            raise NetlistError(f"net {net!r}: assignment must be 0 or 1")
+
+    builder = _Builder(name or f"{circuit.name}_cp")
+    refs: dict[str, NetRef] = {}
+    for pi in circuit.inputs:
+        if pi in assignments:
+            refs[pi] = NetRef(const=assignments[pi])
+        else:
+            builder.add_input(pi)
+            refs[pi] = NetRef(net=pi)
+
+    for gate_name in circuit.topological_order():
+        gate = circuit.gate(gate_name)
+        if gate_name in assignments:
+            refs[gate_name] = NetRef(const=assignments[gate_name])
+            continue
+        in_refs = [refs[n] for n in gate.inputs]
+        if gate.gate_type in (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR):
+            refs[gate_name] = _fold_and_or(gate, in_refs, builder)
+        elif gate.gate_type in (GateType.XOR, GateType.XNOR):
+            refs[gate_name] = _fold_xor(gate, in_refs, builder)
+        elif gate.gate_type is GateType.NOT:
+            src = in_refs[0]
+            if src.is_const:
+                refs[gate_name] = NetRef(const=1 - src.const)  # type: ignore[operator]
+            else:
+                refs[gate_name] = NetRef(
+                    net=builder.emit(gate_name, GateType.NOT, (src.net,))
+                )
+        elif gate.gate_type is GateType.BUF:
+            refs[gate_name] = in_refs[0]  # alias (const or net)
+        elif gate.gate_type is GateType.MUX:
+            refs[gate_name] = _fold_mux(gate, in_refs, builder)
+        else:  # pragma: no cover - vocabulary is closed
+            raise AssertionError(f"unhandled gate type {gate.gate_type!r}")
+
+    for po in circuit.outputs:
+        resolved = _resolve(refs[po], builder)
+        if resolved != po and not builder.circuit.has_net(po):
+            # Aliasing/folding moved the PO's driver under another name;
+            # re-emit a buffer so the circuit interface is preserved.
+            resolved = builder.emit(po, GateType.BUF, (resolved,))
+        builder.circuit.add_output(resolved)
+    builder.circuit.validate()
+    return builder.circuit

@@ -1,0 +1,67 @@
+"""Structural cleanup passes: dead-logic removal and buffer collapsing.
+
+These run after :func:`repro.opt.propagate_constants` to finish the
+"re-synthesis" that SWEEP/SCOPE perform between feature extractions, and
+they also power the SAAM circuit-reduction check (dead logic appearing
+after a key assignment is exactly the reduction signal).
+"""
+
+from __future__ import annotations
+
+from repro.netlist import Circuit, GateType
+
+__all__ = ["remove_dead_logic", "collapse_buffers", "cleanup"]
+
+
+def remove_dead_logic(circuit: Circuit) -> tuple[Circuit, int]:
+    """Strip gates that reach no primary output.
+
+    Returns:
+        ``(cleaned_copy, removed_count)``.
+    """
+    out = circuit.copy()
+    removed = 0
+    while True:
+        dangling = [net for net in out.dangling_nets() if out.has_gate(net)]
+        if not dangling:
+            break
+        for net in dangling:
+            out.remove_gate(net)
+            removed += 1
+    return out, removed
+
+
+def collapse_buffers(circuit: Circuit) -> tuple[Circuit, int]:
+    """Rewire loads of every BUF to its source and drop the buffer.
+
+    Buffers that drive a primary output are kept (removing them would rename
+    the output net and break name-based comparisons).
+
+    Returns:
+        ``(cleaned_copy, removed_count)``.
+    """
+    out = circuit.copy()
+    removed = 0
+    progress = True
+    while progress:
+        progress = False
+        for name in list(out.gate_names):
+            gate = out.gate(name)  # re-fetch: earlier rewires may be visible
+            if gate.gate_type is not GateType.BUF:
+                continue
+            if out.is_output(gate.name):
+                continue
+            source = gate.inputs[0]
+            for load in list(out.fanout(gate.name)):
+                out.rewire_input(load, gate.name, source)
+            out.remove_gate(gate.name)
+            removed += 1
+            progress = True
+    return out, removed
+
+
+def cleanup(circuit: Circuit) -> Circuit:
+    """Full structural cleanup: collapse buffers, then drop dead logic."""
+    out, _ = collapse_buffers(circuit)
+    out, _ = remove_dead_logic(out)
+    return out

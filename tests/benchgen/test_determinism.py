@@ -1,0 +1,37 @@
+"""Cross-process determinism of the benchmark suite and locking.
+
+Regression guard: the generator once iterated a plain ``set``, whose order
+depends on the per-process hash seed — identical seeds then produced
+different circuits in different interpreter runs.
+"""
+
+import subprocess
+import sys
+
+_SNIPPET = """
+from repro import load_benchmark, lock_dmux
+base = load_benchmark('c1908', scale=0.15)
+locked = lock_dmux(base, key_size=8, seed=3)
+print(hash_free := locked.key)
+print(sum(1 for _ in base.gates))
+print(base.gates[0].inputs)
+"""
+
+
+def _run_in_fresh_process(hash_seed: str) -> str:
+    result = subprocess.run(
+        [sys.executable, "-c", _SNIPPET],
+        capture_output=True,
+        text=True,
+        env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+        check=False,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_generation_and_locking_stable_across_hash_seeds():
+    out_a = _run_in_fresh_process("0")
+    out_b = _run_in_fresh_process("424242")
+    assert out_a == out_b
+    assert out_a.strip()

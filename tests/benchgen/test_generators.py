@@ -1,0 +1,84 @@
+"""Tests for the random netlist generators (incl. property-based checks)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchgen import (
+    GeneratorConfig,
+    and_netlist,
+    random_circuit,
+    random_netlist,
+)
+from repro.netlist import GateType
+
+
+def test_determinism():
+    a = random_netlist("x", 8, 4, 60, seed=7)
+    b = random_netlist("x", 8, 4, 60, seed=7)
+    assert a.gates == b.gates
+    assert a.outputs == b.outputs
+
+
+def test_different_seeds_differ():
+    a = random_netlist("x", 8, 4, 60, seed=1)
+    b = random_netlist("x", 8, 4, 60, seed=2)
+    assert a.gates != b.gates
+
+
+def test_requested_sizes():
+    c = random_netlist("x", 10, 5, 100, seed=3)
+    assert len(c.inputs) == 10
+    assert len(c) == 100
+    assert len(c.outputs) >= 5
+
+
+def test_no_dangling_nets():
+    c = random_netlist("x", 12, 6, 150, seed=11)
+    assert c.dangling_nets() == ()
+
+
+def test_acyclic_and_valid():
+    c = random_netlist("x", 6, 3, 80, seed=5)
+    c.validate()
+    assert not c.has_combinational_loop()
+
+
+def test_has_multi_output_nodes_for_locking():
+    c = random_netlist("x", 16, 8, 200, seed=9)
+    multi = [n for n in c.gate_names if c.is_multi_output(n)]
+    assert len(multi) >= 10  # locking strategies need these
+
+
+def test_and_netlist_is_single_type():
+    c = and_netlist("ant", 8, 4, 60, seed=1)
+    assert {g.gate_type for g in c.gates} == {GateType.AND}
+
+
+def test_bad_config_rejected():
+    with pytest.raises(ValueError):
+        GeneratorConfig(n_inputs=0, n_outputs=1, n_gates=1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_inputs=st.integers(2, 20),
+    n_outputs=st.integers(1, 8),
+    n_gates=st.integers(5, 120),
+    seed=st.integers(0, 2**20),
+)
+def test_generator_invariants(n_inputs, n_outputs, n_gates, seed):
+    """Every generated circuit is valid, acyclic and fully loaded."""
+    c = random_circuit(
+        "prop",
+        GeneratorConfig(n_inputs=n_inputs, n_outputs=n_outputs, n_gates=n_gates),
+        seed=seed,
+    )
+    c.validate()
+    # Absorbing rare unused inputs may add at most one gate per input.
+    assert n_gates <= len(c) <= n_gates + n_inputs
+    assert c.dangling_nets() == ()
+    assert all(c.fanout_size(pi) > 0 for pi in c.inputs)
+    # Outputs are gate-driven nets, never floating.
+    for po in c.outputs:
+        assert c.has_net(po)

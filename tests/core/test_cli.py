@@ -1,0 +1,69 @@
+"""Tests for the command-line interface (driven in-process)."""
+
+import pytest
+
+from repro.cli import main
+from repro.netlist import load_bench
+
+
+def test_generate_and_lock_and_unlock_roundtrip(tmp_path, capsys):
+    base = tmp_path / "c1355.bench"
+    locked = tmp_path / "locked.bench"
+    unlocked = tmp_path / "unlocked.bench"
+
+    assert main(["generate", "c1355", "--scale", "0.1", "-o", str(base)]) == 0
+    circuit, key = load_bench(base)
+    assert key is None
+    assert len(circuit) >= 16
+
+    assert main([
+        "lock", str(base), "--scheme", "dmux", "--key-size", "8",
+        "--seed", "1", "-o", str(locked),
+    ]) == 0
+    locked_circuit, stored_key = load_bench(locked)
+    assert stored_key is not None and len(stored_key) == 8
+    assert len(locked_circuit) > len(circuit)
+
+    assert main(["unlock", str(locked), "-o", str(unlocked)]) == 0
+    assert main(["hd", str(base), str(unlocked), "--patterns", "1024"]) == 0
+    out = capsys.readouterr().out
+    assert "HD = 0.0000%" in out
+
+
+def test_saam_and_scope_commands(tmp_path, capsys):
+    base = tmp_path / "b.bench"
+    locked = tmp_path / "l.bench"
+    main(["generate", "c1908", "--scale", "0.1", "-o", str(base)])
+    main([
+        "lock", str(base), "--scheme", "naive-mux", "--key-size", "6",
+        "-o", str(locked),
+    ])
+    assert main(["saam", str(locked)]) == 0
+    assert main(["scope", str(locked)]) == 0
+    out = capsys.readouterr().out
+    assert "SAAM key guess:" in out
+    assert "SCOPE key guess:" in out
+
+
+def test_attack_command_smoke(tmp_path, capsys):
+    base = tmp_path / "b.bench"
+    locked = tmp_path / "l.bench"
+    main(["generate", "c1355", "--scale", "0.12", "-o", str(base)])
+    main(["lock", str(base), "--key-size", "6", "-o", str(locked)])
+    assert main([
+        "attack", str(locked), "--h", "1", "--epochs", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "predicted key:" in out
+    assert "AC=" in out  # stored key enables scoring
+
+
+def test_unlock_without_key_fails(tmp_path, capsys):
+    base = tmp_path / "b.bench"
+    main(["generate", "c17", "-o", str(base)])
+    assert main(["unlock", str(base), "-o", str(tmp_path / "u.bench")]) == 2
+
+
+def test_unknown_benchmark_rejected(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["generate", "c9999", "-o", str(tmp_path / "x.bench")])

@@ -1,0 +1,112 @@
+"""Smoke tests for the experiment runners at miniature scale."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    CI_SCALE,
+    PAPER_SCALE,
+    ExperimentScale,
+    active_scale,
+    attack_benchmark,
+    format_fig2,
+    format_fig7,
+    format_fig8,
+    format_fig9,
+    format_fig10,
+    lock_with,
+    run_fig2,
+    run_fig9,
+    summarize_fig7,
+)
+from repro.experiments.common import format_records
+from repro.locking import DMUX_SCHEME
+
+TINY = ExperimentScale(
+    name="tiny",
+    iscas=("c1355",),
+    itc=(),
+    circuit_scale_iscas=0.1,
+    circuit_scale_itc=0.1,
+    iscas_keys=(6,),
+    itc_keys=(),
+    h=1,
+    epochs=2,
+    hd_patterns=256,
+)
+
+
+def test_scale_presets_and_env(monkeypatch):
+    assert CI_SCALE.name == "ci"
+    assert PAPER_SCALE.name == "paper"
+    assert PAPER_SCALE.iscas_keys == (64, 128, 256)
+    monkeypatch.delenv("REPRO_EXPERIMENT_SCALE", raising=False)
+    assert active_scale() is CI_SCALE
+    monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "paper")
+    assert active_scale() is PAPER_SCALE
+
+
+def test_scale_benchmark_enumeration():
+    rows = CI_SCALE.benchmarks()
+    names = [r[0] for r in rows]
+    assert names == list(CI_SCALE.iscas) + list(CI_SCALE.itc)
+    for _, scale, keys in rows:
+        assert 0 < scale <= 1
+        assert keys
+
+
+def test_lock_with_dispatch():
+    from repro.benchgen import load_benchmark
+
+    base = load_benchmark("c1355", scale=0.1)
+    locked = lock_with(DMUX_SCHEME, base, key_size=4, seed=0)
+    assert locked.scheme == DMUX_SCHEME
+    with pytest.raises(KeyError):
+        lock_with("nope", base, key_size=4)
+
+
+def test_attack_benchmark_record():
+    record = attack_benchmark(
+        "c1355", DMUX_SCHEME, 6, TINY, TINY.circuit_scale_iscas, seed=0
+    )
+    assert record.benchmark == "c1355"
+    assert record.metrics.n_total == 6
+    assert len(record.predicted_key) == 6
+    assert record.runtime_seconds > 0
+    assert "result" in record.extras
+    table = format_records([record], "t")
+    assert "c1355" in table
+
+
+def test_fig2_runner_tiny():
+    rows = run_fig2(scale=TINY, n_copies=2, key_size=6, seed=1)
+    # 1 benchmark x 2 schemes x 2 attacks
+    assert len(rows) == 4
+    assert {r.attack for r in rows} == {"SCOPE", "SWEEP"}
+    for row in rows:
+        assert 0.0 <= row.metrics.accuracy <= 1.0
+    assert "Fig. 2" in format_fig2(rows)
+
+
+def test_fig9_runner_tiny():
+    rows = run_fig9(scale=TINY, thresholds=(0.0, 1.0), seed=1)
+    assert len(rows) == 4  # 2 schemes x 2 thresholds
+    final = [r for r in rows if r.threshold == 1.0]
+    assert all(r.precision == 1.0 for r in final)
+    assert "Fig. 9" in format_fig9(rows)
+
+
+def test_fig7_summary_shape():
+    record = attack_benchmark(
+        "c1355", DMUX_SCHEME, 6, TINY, TINY.circuit_scale_iscas, seed=2
+    )
+    summary = summarize_fig7([record])
+    assert set(summary) >= {"accuracy", "precision", "kpa"}
+    assert not math.isnan(summary["accuracy"])
+    assert "Summary" in format_fig7([record])
+
+
+def test_formatters_handle_empty_gracefully():
+    assert "Fig. 8" in format_fig8([])
+    assert "Fig. 10" in format_fig10([])

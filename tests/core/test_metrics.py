@@ -1,0 +1,91 @@
+"""Tests for AC / PC / KPA metrics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.metrics import KeyMetrics, aggregate_metrics, score_key
+
+
+def test_perfect_key():
+    m = score_key("0110", "0110")
+    assert m.accuracy == 1.0
+    assert m.precision == 1.0
+    assert m.kpa == 1.0
+    assert m.decision_rate == 1.0
+
+
+def test_all_wrong():
+    m = score_key("1111", "0000")
+    assert m.accuracy == 0.0
+    assert m.precision == 0.0
+    assert m.kpa == 0.0
+
+
+def test_x_counts_toward_precision_not_accuracy():
+    m = score_key("0xx1", "0001")
+    assert m.n_correct == 2
+    assert m.n_x == 2
+    assert m.accuracy == 0.5
+    assert m.precision == 1.0  # no wrong guesses
+    assert m.kpa == 1.0  # decided bits all correct
+    assert m.decision_rate == 0.5
+
+
+def test_all_x_gives_nan_kpa():
+    m = score_key("xxxx", "0101")
+    assert math.isnan(m.kpa)
+    assert m.precision == 1.0
+    assert m.accuracy == 0.0
+
+
+def test_paper_metric_definitions():
+    # AC=(Kcorrect/Ktotal), PC=((Kcorrect+Kx)/Ktotal), KPA=Kcorrect/(Ktotal-Kx)
+    m = score_key("01x10x", "001101")
+    assert m.n_total == 6
+    assert m.n_correct == 3
+    assert m.n_wrong == 1
+    assert m.n_x == 2
+    assert m.accuracy == pytest.approx(3 / 6)
+    assert m.precision == pytest.approx(5 / 6)
+    assert m.kpa == pytest.approx(3 / 4)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        score_key("01", "011")
+    with pytest.raises(ValueError):
+        score_key("02", "01")
+    with pytest.raises(ValueError):
+        score_key("01", "0x")  # actual key may not contain x
+
+
+def test_aggregate():
+    a = score_key("01", "01")
+    b = score_key("xx", "01")
+    pooled = aggregate_metrics([a, b])
+    assert pooled.n_total == 4
+    assert pooled.accuracy == 0.5
+    assert pooled.precision == 1.0
+    with pytest.raises(ValueError):
+        aggregate_metrics([])
+
+
+@given(st.text(alphabet="01x", min_size=1, max_size=64), st.data())
+def test_metric_bounds_property(predicted, data):
+    actual = data.draw(
+        st.text(alphabet="01", min_size=len(predicted), max_size=len(predicted))
+    )
+    m = score_key(predicted, actual)
+    assert 0.0 <= m.accuracy <= 1.0
+    assert m.accuracy <= m.precision <= 1.0
+    if not math.isnan(m.kpa):
+        assert 0.0 <= m.kpa <= 1.0
+    assert m.n_correct + m.n_wrong + m.n_x == m.n_total
+
+
+def test_kpa_equals_accuracy_when_no_x():
+    m = score_key("0101", "0111")
+    assert m.kpa == m.accuracy

@@ -1,0 +1,65 @@
+"""Tests for graph batching and adjacency normalization."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import GraphExample, build_batch, normalized_adjacency
+
+
+def triangle(label=1, width=3):
+    edges = np.array([[0, 1], [1, 2], [0, 2]])
+    return GraphExample(3, edges, np.ones((3, width)), label=label)
+
+
+def path(n=4, label=0, width=3):
+    edges = np.array([[i, i + 1] for i in range(n - 1)])
+    return GraphExample(n, edges, np.ones((n, width)), label=label)
+
+
+def test_normalized_adjacency_rows_sum_to_one():
+    adj = normalized_adjacency(3, np.array([[0, 1], [1, 2]]))
+    np.testing.assert_allclose(np.asarray(adj.sum(axis=1)).ravel(), 1.0)
+
+
+def test_normalized_adjacency_includes_self_loops():
+    adj = normalized_adjacency(2, np.array([[0, 1]]))
+    dense = adj.toarray()
+    assert dense[0, 0] > 0 and dense[1, 1] > 0
+    np.testing.assert_allclose(dense, [[0.5, 0.5], [0.5, 0.5]])
+
+
+def test_normalized_adjacency_handles_isolated_nodes():
+    adj = normalized_adjacency(3, np.empty((0, 2)))
+    np.testing.assert_allclose(adj.toarray(), np.eye(3))
+
+
+def test_duplicate_edges_collapse():
+    adj = normalized_adjacency(2, np.array([[0, 1], [0, 1], [1, 0]]))
+    np.testing.assert_allclose(adj.toarray(), [[0.5, 0.5], [0.5, 0.5]])
+
+
+def test_build_batch_block_structure():
+    batch = build_batch([triangle(), path()])
+    assert batch.n_graphs == 2
+    assert batch.features.shape == (7, 3)
+    assert list(batch.node_offsets) == [0, 3, 7]
+    dense = batch.norm_adj.toarray()
+    # Off-diagonal blocks are zero.
+    assert not dense[:3, 3:].any()
+    assert not dense[3:, :3].any()
+    np.testing.assert_array_equal(batch.labels, [1, 0])
+    assert batch.graph_slice(1) == slice(3, 7)
+
+
+def test_build_batch_validation():
+    with pytest.raises(ValueError):
+        build_batch([])
+    with pytest.raises(ValueError):
+        build_batch([triangle(width=3), triangle(width=4)])
+
+
+def test_graph_example_validation():
+    with pytest.raises(ValueError):
+        GraphExample(2, np.array([[0, 5]]), np.ones((2, 3)))
+    with pytest.raises(ValueError):
+        GraphExample(2, np.empty((0, 2)), np.ones((3, 3)))

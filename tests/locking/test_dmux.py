@@ -1,0 +1,181 @@
+"""Tests for D-MUX locking (functional + structural scheme guarantees)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchgen import random_netlist
+from repro.errors import LockingError
+from repro.locking import Strategy, apply_key, key_inputs_of, lock_dmux
+from repro.netlist import GateType
+from repro.opt import cleanup, propagate_constants
+from repro.sim import hamming_distance
+
+
+def small_circuit(seed=0):
+    return random_netlist("base", 10, 5, 120, seed=seed)
+
+
+def test_basic_locking_shape():
+    base = small_circuit()
+    locked = lock_dmux(base, key_size=8, seed=1)
+    assert locked.key_size == 8
+    assert len(locked.key) == 8
+    assert set(locked.key) <= {"0", "1"}
+    assert locked.scheme == "D-MUX"
+    assert key_inputs_of(locked.circuit) == tuple(
+        f"keyinput{i}" for i in range(8)
+    )
+    # Every key bit is used by at least one MUX.
+    used = {m.key_index for m in locked.mux_instances()}
+    assert used == set(range(8))
+
+
+def test_correct_key_recovers_function():
+    base = small_circuit(seed=3)
+    locked = lock_dmux(base, key_size=12, seed=7)
+    unlocked = apply_key(locked.circuit, locked.key)
+    assert hamming_distance(base, unlocked, n_patterns=2048) == 0.0
+
+
+def test_wrong_key_corrupts_function():
+    """At least one all-bits-flipped key over several instances corrupts.
+
+    A single instance can escape corruption when every decoy happens to be
+    functionally equivalent to its true wire (incidental equivalences occur
+    in highly-correlated random logic), so the property is asserted over a
+    batch."""
+    corrupted_any = 0.0
+    for seed in (4, 5, 6):
+        base = small_circuit(seed=seed)
+        locked = lock_dmux(base, key_size=12, seed=seed + 4)
+        wrong = "".join("1" if c == "0" else "0" for c in locked.key)
+        corrupted = apply_key(locked.circuit, wrong)
+        corrupted_any += hamming_distance(base, corrupted, n_patterns=2048)
+    assert corrupted_any > 0.0
+
+
+def test_no_loops_and_valid():
+    base = small_circuit(seed=5)
+    locked = lock_dmux(base, key_size=16, seed=9)
+    locked.circuit.validate()
+    assert not locked.circuit.has_combinational_loop()
+
+
+def test_no_circuit_reduction_single_bit():
+    """Hard-coding any single key bit to either value leaves no dangling
+    logic — the core D-MUX resilience property against SAAM."""
+    base = small_circuit(seed=6)
+    locked = lock_dmux(base, key_size=10, seed=10)
+    for bit in range(10):
+        for value in (0, 1):
+            simplified = propagate_constants(
+                locked.circuit, {f"keyinput{bit}": value}
+            )
+            cleaned, removed = __import__(
+                "repro.opt", fromlist=["remove_dead_logic"]
+            ).remove_dead_logic(simplified)
+            assert removed == 0, (
+                f"bit {bit}={value} caused reduction of {removed} gates"
+            )
+
+
+def test_locality_records_are_consistent():
+    base = small_circuit(seed=7)
+    locked = lock_dmux(base, key_size=10, seed=11)
+    for loc in locked.localities:
+        for mux in loc.muxes:
+            gate = locked.circuit.gate(mux.mux_name)
+            assert gate.gate_type is GateType.MUX
+            sel, d0, d1 = gate.inputs
+            assert sel == mux.key_name
+            # Wiring matches the recorded select_for_true.
+            expected = (
+                (mux.true_net, mux.false_net)
+                if mux.select_for_true == 0
+                else (mux.false_net, mux.true_net)
+            )
+            assert (d0, d1) == expected
+            # The load gate reads the MUX where the true net used to be.
+            assert mux.mux_name in locked.circuit.gate(mux.load_gate).inputs
+            # Recorded key bit matches the key string.
+            assert locked.key[mux.key_index] == str(mux.select_for_true)
+
+
+def test_s1_s5_pairs_have_complementary_bits():
+    base = small_circuit(seed=8)
+    locked = lock_dmux(base, key_size=16, seed=12)
+    for loc in locked.localities:
+        if loc.strategy is Strategy.S1:
+            mi, mj = loc.muxes
+            assert mi.select_for_true != mj.select_for_true
+            # Same data-pin order on both MUXes.
+            gi = locked.circuit.gate(mi.mux_name)
+            gj = locked.circuit.gate(mj.mux_name)
+            assert gi.inputs[1:] == gj.inputs[1:]
+        if loc.strategy is Strategy.S4:
+            mi, mj = loc.muxes
+            assert mi.key_index == mj.key_index
+            gi = locked.circuit.gate(mi.mux_name)
+            gj = locked.circuit.gate(mj.mux_name)
+            assert gi.inputs[1:] == gj.inputs[1:][::-1]
+
+
+def test_eD_MUX_prefers_cheap_strategies():
+    """On a fan-out-rich circuit S4 should be rare (it is the fallback)."""
+    base = small_circuit(seed=9)
+    locked = lock_dmux(base, key_size=20, seed=13)
+    s4 = sum(1 for loc in locked.localities if loc.strategy is Strategy.S4)
+    assert s4 <= len(locked.localities) // 2
+
+
+def test_determinism():
+    base = small_circuit(seed=10)
+    a = lock_dmux(base, key_size=8, seed=5)
+    b = lock_dmux(base, key_size=8, seed=5)
+    assert a.key == b.key
+    assert a.circuit.gates == b.circuit.gates
+
+
+def test_source_circuit_unchanged():
+    base = small_circuit(seed=11)
+    gates_before = base.gates
+    lock_dmux(base, key_size=8, seed=1)
+    assert base.gates == gates_before
+
+
+def test_invalid_key_size():
+    with pytest.raises(LockingError):
+        lock_dmux(small_circuit(), key_size=0)
+
+
+def test_oversized_key_raises():
+    tiny = random_netlist("tiny", 3, 2, 6, seed=0)
+    with pytest.raises(LockingError):
+        lock_dmux(tiny, key_size=64, seed=0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 100), key_size=st.sampled_from([4, 8, 14]))
+def test_functional_preservation_property(seed, key_size):
+    base = random_netlist("prop", 8, 4, 100, seed=seed)
+    locked = lock_dmux(base, key_size=key_size, seed=seed)
+    unlocked = apply_key(locked.circuit, locked.key)
+    assert hamming_distance(base, unlocked, n_patterns=512, seed=seed) == 0.0
+
+
+def test_localities_are_strategy_enums_and_s1_occurs():
+    """Regression: numpy permutation once coerced Strategy members to
+    numpy strings, silently disabling S1 and corrupting locality tags."""
+    base = small_circuit(seed=12)
+    locked = lock_dmux(base, key_size=20, seed=3)
+    assert all(isinstance(loc.strategy, Strategy) for loc in locked.localities)
+    used = {loc.strategy for loc in locked.localities}
+    assert used <= {Strategy.S1, Strategy.S2, Strategy.S3, Strategy.S4}
+    # With a fanout-rich circuit and 20 bits, S1 must fire sometimes.
+    seen_s1 = any(
+        loc.strategy is Strategy.S1
+        for seed in range(4)
+        for loc in lock_dmux(base, key_size=16, seed=seed).localities
+    )
+    assert seen_s1

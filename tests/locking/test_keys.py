@@ -1,0 +1,49 @@
+"""Tests for key-input conventions."""
+
+import pytest
+
+from repro.benchgen import load_c17
+from repro.locking import (
+    format_key,
+    is_key_input,
+    key_input_index,
+    key_input_name,
+    key_inputs_of,
+    parse_key,
+)
+
+
+def test_name_index_roundtrip():
+    for i in (0, 1, 17, 255):
+        assert key_input_index(key_input_name(i)) == i
+
+
+def test_is_key_input():
+    assert is_key_input("keyinput0")
+    assert is_key_input("keyinput42")
+    assert not is_key_input("keyinput")
+    assert not is_key_input("G22")
+    assert not is_key_input("keyinput1x")
+
+
+def test_bad_names_rejected():
+    with pytest.raises(ValueError):
+        key_input_index("G5")
+    with pytest.raises(ValueError):
+        key_input_name(-1)
+
+
+def test_key_inputs_of_sorted_numerically():
+    c = load_c17().copy()
+    for i in (10, 2, 0):
+        c.add_input(key_input_name(i))
+    assert key_inputs_of(c) == ("keyinput0", "keyinput2", "keyinput10")
+
+
+def test_format_and_parse_key():
+    assert format_key({0: 1, 1: 0, 2: 1}, 3) == "101"
+    assert parse_key("10x1") == {0: 1, 1: 0, 3: 1}
+    with pytest.raises(ValueError):
+        format_key({0: 1}, 2)
+    with pytest.raises(ValueError):
+        parse_key("012")

@@ -1,0 +1,162 @@
+"""Tests for symmetric (S5), naive MUX, and XOR locking."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchgen import random_netlist
+from repro.errors import LockingError
+from repro.locking import (
+    Strategy,
+    apply_key,
+    lock_naive_mux,
+    lock_symmetric,
+    lock_xor,
+)
+from repro.netlist import GateType
+from repro.opt import propagate_constants, remove_dead_logic
+from repro.sim import hamming_distance
+
+
+def base_circuit(seed=0):
+    return random_netlist("base", 10, 5, 120, seed=seed)
+
+
+# ---------------------------------------------------------------- symmetric
+def test_symmetric_basic_shape():
+    locked = lock_symmetric(base_circuit(), key_size=8, seed=2)
+    assert locked.key_size == 8
+    assert len(locked.localities) == 4  # two key bits per locality
+    assert all(loc.strategy is Strategy.S5 for loc in locked.localities)
+    assert all(len(loc.muxes) == 2 for loc in locked.localities)
+
+
+def test_symmetric_pairs_are_complementary():
+    locked = lock_symmetric(base_circuit(seed=1), key_size=12, seed=3)
+    for loc in locked.localities:
+        mi, mj = loc.muxes
+        assert mi.key_index != mj.key_index
+        assert mi.select_for_true != mj.select_for_true
+        gi = locked.circuit.gate(mi.mux_name)
+        gj = locked.circuit.gate(mj.mux_name)
+        assert gi.inputs[1:] == gj.inputs[1:]  # same data order
+
+
+def test_symmetric_correct_key_recovers_function():
+    base = base_circuit(seed=2)
+    locked = lock_symmetric(base, key_size=10, seed=4)
+    unlocked = apply_key(locked.circuit, locked.key)
+    assert hamming_distance(base, unlocked, n_patterns=2048) == 0.0
+
+
+def test_symmetric_no_reduction_single_bit():
+    base = base_circuit(seed=3)
+    locked = lock_symmetric(base, key_size=8, seed=5)
+    for bit in range(8):
+        for value in (0, 1):
+            simplified = propagate_constants(
+                locked.circuit, {f"keyinput{bit}": value}
+            )
+            _, removed = remove_dead_logic(simplified)
+            assert removed == 0
+
+
+def test_symmetric_odd_key_rejected():
+    with pytest.raises(LockingError):
+        lock_symmetric(base_circuit(), key_size=7)
+    with pytest.raises(LockingError):
+        lock_symmetric(base_circuit(), key_size=0)
+
+
+def test_symmetric_fewer_localities_than_dmux():
+    """Under the same K, symmetric locking obfuscates fewer localities
+    (each locality burns two key bits) — paper Sec. IV."""
+    from repro.locking import lock_dmux
+
+    base = base_circuit(seed=4)
+    sym = lock_symmetric(base, key_size=16, seed=6)
+    dmux = lock_dmux(base, key_size=16, seed=6)
+    assert len(sym.localities) <= len(dmux.localities)
+
+
+# ---------------------------------------------------------------- naive MUX
+def test_naive_mux_functional():
+    base = base_circuit(seed=5)
+    locked = lock_naive_mux(base, key_size=8, seed=7)
+    unlocked = apply_key(locked.circuit, locked.key)
+    assert hamming_distance(base, unlocked, n_patterns=2048) == 0.0
+
+
+def test_naive_mux_exhibits_reduction():
+    """At least one wrong key bit must produce dangling logic (the SAAM
+    vulnerability that D-MUX closes)."""
+    base = base_circuit(seed=6)
+    locked = lock_naive_mux(base, key_size=12, seed=8)
+    reductions = 0
+    for mux in locked.mux_instances():
+        wrong = 1 - mux.select_for_true
+        simplified = propagate_constants(
+            locked.circuit, {mux.key_name: wrong}
+        )
+        _, removed = remove_dead_logic(simplified)
+        if removed > 0:
+            reductions += 1
+    assert reductions > 0
+
+
+def test_naive_mux_no_loops():
+    locked = lock_naive_mux(base_circuit(seed=7), key_size=16, seed=9)
+    locked.circuit.validate()
+
+
+# ---------------------------------------------------------------- XOR
+def test_xor_locking_shape_and_function():
+    base = base_circuit(seed=8)
+    locked = lock_xor(base, key_size=10, seed=10)
+    assert locked.key_size == 10
+    key_gates = [
+        g for g in locked.circuit.gates
+        if any(n.startswith("keyinput") for n in g.inputs)
+    ]
+    assert len(key_gates) == 10
+    unlocked = apply_key(locked.circuit, locked.key)
+    assert hamming_distance(base, unlocked, n_patterns=2048) == 0.0
+
+
+def test_xor_gate_type_leaks_key():
+    """The classic leakage: XOR <=> key 0, XNOR <=> key 1."""
+    locked = lock_xor(base_circuit(seed=9), key_size=12, seed=11)
+    for bit in range(12):
+        gate = next(
+            g for g in locked.circuit.gates if f"keyinput{bit}" in g.inputs
+        )
+        leaked = "1" if gate.gate_type is GateType.XNOR else "0"
+        assert locked.key[bit] == leaked
+
+
+def test_xor_wrong_bit_flips_function():
+    base = base_circuit(seed=10)
+    locked = lock_xor(base, key_size=4, seed=12)
+    wrong = "".join("1" if c == "0" else "0" for c in locked.key)
+    corrupted = apply_key(locked.circuit, wrong)
+    assert hamming_distance(base, corrupted, n_patterns=1024) > 0.0
+
+
+def test_xor_key_size_guard():
+    tiny = random_netlist("tiny", 3, 2, 5, seed=0)
+    with pytest.raises(LockingError):
+        lock_xor(tiny, key_size=50)
+
+
+# ------------------------------------------------------- cross-scheme props
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 50))
+def test_all_mux_schemes_preserve_function(seed):
+    base = random_netlist("prop", 8, 4, 90, seed=seed)
+    for locker, key_size in (
+        (lock_symmetric, 6),
+        (lock_naive_mux, 6),
+    ):
+        locked = locker(base, key_size=key_size, seed=seed)
+        unlocked = apply_key(locked.circuit, locked.key)
+        assert hamming_distance(base, unlocked, n_patterns=512) == 0.0

@@ -1,0 +1,107 @@
+"""Unit tests for BENCH parsing and serialization."""
+
+import pytest
+
+from repro.errors import BenchFormatError
+from repro.netlist import GateType, parse_bench, write_bench
+from repro.netlist.bench import dump_bench, load_bench
+
+C17 = """
+# c17 (real ISCAS-85 netlist)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+"""
+
+
+def test_parse_c17():
+    circuit, key = parse_bench(C17, name="c17")
+    assert key is None
+    assert circuit.inputs == ("G1", "G2", "G3", "G6", "G7")
+    assert circuit.outputs == ("G22", "G23")
+    assert len(circuit) == 6
+    assert circuit.gate("G22").inputs == ("G10", "G16")
+
+
+def test_roundtrip():
+    circuit, _ = parse_bench(C17, name="c17")
+    text = write_bench(circuit)
+    again, _ = parse_bench(text, name="c17")
+    assert again.inputs == circuit.inputs
+    assert again.outputs == circuit.outputs
+    assert {g.name: g for g in again.gates} == {g.name: g for g in circuit.gates}
+
+
+def test_key_comment_roundtrip():
+    circuit, _ = parse_bench(C17)
+    text = write_bench(circuit, key="0110")
+    _, key = parse_bench(text)
+    assert key == "0110"
+
+
+def test_out_of_order_definitions():
+    text = """
+    INPUT(a)
+    OUTPUT(y)
+    y = NOT(m)
+    m = AND(a, a)
+    """
+    circuit, _ = parse_bench(text)
+    assert circuit.topological_order() == ("m", "y")
+
+
+def test_synonyms_and_mux():
+    text = """
+    INPUT(a)
+    INPUT(k)
+    OUTPUT(y)
+    n = INV(a)
+    b = BUFF(a)
+    y = MUX(k, n, b)
+    """
+    circuit, _ = parse_bench(text)
+    assert circuit.gate("n").gate_type is GateType.NOT
+    assert circuit.gate("b").gate_type is GateType.BUF
+    assert circuit.gate("y").gate_type is GateType.MUX
+    assert circuit.gate("y").inputs == ("k", "n", "b")
+
+
+def test_whitespace_and_comments_tolerated():
+    text = "INPUT( a )\n# a comment\n\nOUTPUT( y )\ny  =  AND( a ,a )\n"
+    circuit, _ = parse_bench(text)
+    assert circuit.gate("y").inputs == ("a", "a")
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "INPUT(a)\nOUTPUT(y)\ny = FROB(a, a)",  # unknown gate
+        "INPUT(a)\nOUTPUT(y)\ny = AND()",  # no inputs
+        "INPUT(a)\nOUTPUT(y)\nthis is not bench",  # junk line
+        "INPUT(a)\nOUTPUT(y)\ny = AND(a, zz)",  # undriven net
+        "INPUT(a)\nOUTPUT(y)\ny = NOT(w)\nw = NOT(y)",  # cycle
+    ],
+)
+def test_malformed_inputs_raise(bad):
+    with pytest.raises(BenchFormatError):
+        parse_bench(bad)
+
+
+def test_file_io(tmp_path):
+    circuit, _ = parse_bench(C17, name="c17")
+    path = tmp_path / "c17.bench"
+    dump_bench(circuit, path, key="01")
+    loaded, key = load_bench(path)
+    assert loaded.name == "c17"
+    assert key == "01"
+    assert len(loaded) == 6

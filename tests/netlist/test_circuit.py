@@ -1,0 +1,169 @@
+"""Unit tests for the Circuit data structure."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import Circuit, Gate, GateType
+
+
+def half_adder():
+    c = Circuit("ha", inputs=["a", "b"])
+    c.add_gate(Gate("sum", GateType.XOR, ("a", "b")))
+    c.add_gate(Gate("carry", GateType.AND, ("a", "b")))
+    c.add_output("sum")
+    c.add_output("carry")
+    return c
+
+
+def chain(n=4):
+    c = Circuit("chain", inputs=["x"])
+    prev = "x"
+    for i in range(n):
+        c.add_gate(Gate(f"n{i}", GateType.NOT, (prev,)))
+        prev = f"n{i}"
+    c.add_output(prev)
+    return c
+
+
+def test_basic_construction_and_accessors():
+    c = half_adder()
+    assert c.inputs == ("a", "b")
+    assert c.outputs == ("sum", "carry")
+    assert len(c) == 2
+    assert c.gate("sum").gate_type is GateType.XOR
+    assert c.has_net("a") and c.has_net("carry") and not c.has_net("zz")
+    assert set(c.nets) == {"a", "b", "sum", "carry"}
+
+
+def test_duplicate_and_undriven_rejected():
+    c = half_adder()
+    with pytest.raises(NetlistError):
+        c.add_input("a")
+    with pytest.raises(NetlistError):
+        c.add_gate(Gate("sum", GateType.OR, ("a", "b")))
+    with pytest.raises(NetlistError):
+        c.add_gate(Gate("g", GateType.OR, ("a", "nope")))
+    with pytest.raises(NetlistError):
+        c.add_output("nope")
+
+
+def test_gate_arity_checked_at_construction():
+    with pytest.raises(NetlistError):
+        Gate("g", GateType.NOT, ("a", "b"))
+    with pytest.raises(NetlistError):
+        Gate("g", GateType.MUX, ("a", "b"))
+
+
+def test_fanout_and_multi_output():
+    c = half_adder()
+    assert sorted(c.fanout("a")) == ["carry", "sum"]
+    assert c.fanout_size("a") == 2
+    assert c.is_multi_output("a")
+    # 'sum' is a PO only: one load.
+    assert c.fanout_size("sum") == 1
+    assert not c.is_multi_output("sum")
+
+
+def test_po_counts_in_fanout_size():
+    c = Circuit("t", inputs=["a"])
+    c.add_gate(Gate("g", GateType.BUF, ("a",)))
+    c.add_output("g")
+    c.add_output("g")
+    assert c.fanout_size("g") == 2
+
+
+def test_topological_order_and_depth():
+    c = chain(5)
+    order = c.topological_order()
+    assert list(order) == [f"n{i}" for i in range(5)]
+    assert c.depth() == 5
+
+
+def test_loop_detection():
+    c = Circuit("loop", inputs=["a"])
+    c.add_gate(Gate("g1", GateType.AND, ("a", "a")))
+    c.add_gate(Gate("g2", GateType.AND, ("g1", "a")))
+    # Manually create a cycle g1 <- g2.
+    c.rewire_input("g1", "a", "g2")
+    assert c.has_combinational_loop()
+    with pytest.raises(NetlistError):
+        c.topological_order()
+
+
+def test_creates_loop_predicts_cycles():
+    c = chain(3)
+    # Feeding n2 back into n0 would create a loop.
+    assert c.creates_loop("n2", "n0")
+    assert not c.creates_loop("x", "n2")
+    assert not c.creates_loop("n0", "n2") is True or True  # sanity
+
+
+def test_transitive_cones():
+    c = chain(4)
+    assert c.transitive_fanout("n0") == {"n1", "n2", "n3"}
+    assert c.transitive_fanin("n3") == {"x", "n0", "n1", "n2"}
+    assert c.transitive_fanin("x") == set()
+
+
+def test_rewire_and_replace():
+    c = half_adder()
+    c.add_gate(Gate("inv", GateType.NOT, ("b",)))
+    c.rewire_input("sum", "b", "inv")
+    assert c.gate("sum").inputs == ("a", "inv")
+    c.replace_gate(Gate("carry", GateType.NAND, ("a", "b")))
+    assert c.gate("carry").gate_type is GateType.NAND
+    with pytest.raises(NetlistError):
+        c.rewire_input("sum", "b", "inv")  # 'b' no longer an input of sum
+    with pytest.raises(NetlistError):
+        c.replace_gate(Gate("nope", GateType.NOT, ("a",)))
+
+
+def test_remove_gate_guards():
+    c = chain(2)
+    with pytest.raises(NetlistError):
+        c.remove_gate("n0")  # still feeds n1
+    with pytest.raises(NetlistError):
+        c.remove_gate("n1")  # primary output
+    c2 = Circuit("t", inputs=["a"])
+    c2.add_gate(Gate("dead", GateType.NOT, ("a",)))
+    removed = c2.remove_gate("dead")
+    assert removed.name == "dead"
+    assert not c2.has_gate("dead")
+
+
+def test_redirect_output():
+    c = half_adder()
+    c.add_gate(Gate("inv", GateType.NOT, ("sum",)))
+    c.redirect_output("sum", "inv")
+    assert c.outputs == ("inv", "carry")
+
+
+def test_fresh_name():
+    c = half_adder()
+    assert c.fresh_name("mux") == "mux"
+    c.add_gate(Gate("mux", GateType.NOT, ("a",)))
+    assert c.fresh_name("mux") == "mux_0"
+
+
+def test_copy_is_independent():
+    c = half_adder()
+    dup = c.copy("dup")
+    dup.add_gate(Gate("extra", GateType.NOT, ("a",)))
+    assert not c.has_gate("extra")
+    assert dup.name == "dup"
+    assert c.outputs == dup.outputs
+
+
+def test_stats_and_dangling():
+    c = half_adder()
+    st = c.stats()
+    assert st.num_gates == 2
+    assert st.gate_counts == {"XOR": 1, "AND": 1}
+    assert st.depth == 1
+    assert c.dangling_nets() == ()
+    c.add_gate(Gate("dead", GateType.NOT, ("a",)))
+    assert c.dangling_nets() == ("dead",)
+
+
+def test_validate_passes_on_good_circuit():
+    half_adder().validate()

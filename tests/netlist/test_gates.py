@@ -1,0 +1,95 @@
+"""Unit tests for gate semantics and feature encoding."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.gates import (
+    FEATURE_GATE_ORDER,
+    NUM_GATE_FEATURES,
+    GateType,
+    evaluate_gate,
+    gate_arity_ok,
+    gate_feature_index,
+)
+
+
+def bits(*values):
+    """Pack bit values into a single-word uint64 array (LSB first)."""
+    word = 0
+    for i, v in enumerate(values):
+        word |= int(v) << i
+    return np.array([word], dtype=np.uint64)
+
+
+def unpack(word_array, n):
+    word = int(word_array[0])
+    return [(word >> i) & 1 for i in range(n)]
+
+
+TRUTH_TABLES = {
+    GateType.AND: [0, 0, 0, 1],
+    GateType.NAND: [1, 1, 1, 0],
+    GateType.OR: [0, 1, 1, 1],
+    GateType.NOR: [1, 0, 0, 0],
+    GateType.XOR: [0, 1, 1, 0],
+    GateType.XNOR: [1, 0, 0, 1],
+}
+
+
+@pytest.mark.parametrize("gate_type,expected", sorted(TRUTH_TABLES.items()))
+def test_two_input_truth_tables(gate_type, expected):
+    a = bits(0, 0, 1, 1)
+    b = bits(0, 1, 0, 1)
+    out = evaluate_gate(gate_type, [a, b])
+    assert unpack(out, 4) == expected
+
+
+def test_not_and_buf():
+    a = bits(0, 1)
+    assert unpack(evaluate_gate(GateType.NOT, [a]), 2) == [1, 0]
+    assert unpack(evaluate_gate(GateType.BUF, [a]), 2) == [0, 1]
+
+
+def test_buf_returns_copy_not_alias():
+    a = bits(0, 1)
+    out = evaluate_gate(GateType.BUF, [a])
+    out[0] = np.uint64(0)
+    assert unpack(a, 2) == [0, 1]
+
+
+def test_mux_select_semantics():
+    # MUX(s, d0, d1): s=0 -> d0, s=1 -> d1
+    sel = bits(0, 0, 1, 1)
+    d0 = bits(0, 1, 0, 1)
+    d1 = bits(1, 0, 1, 0)
+    out = evaluate_gate(GateType.MUX, [sel, d0, d1])
+    assert unpack(out, 4) == [0, 1, 1, 0]
+
+
+def test_multi_input_and_or_xor():
+    a, b, c = bits(0, 1, 1, 1), bits(1, 0, 1, 1), bits(1, 1, 0, 1)
+    assert unpack(evaluate_gate(GateType.AND, [a, b, c]), 4) == [0, 0, 0, 1]
+    assert unpack(evaluate_gate(GateType.OR, [a, b, c]), 4) == [1, 1, 1, 1]
+    # XOR is parity over all inputs.
+    assert unpack(evaluate_gate(GateType.XOR, [a, b, c]), 4) == [0, 0, 0, 1]
+
+
+def test_arity_validation():
+    assert gate_arity_ok(GateType.NOT, 1)
+    assert not gate_arity_ok(GateType.NOT, 2)
+    assert gate_arity_ok(GateType.MUX, 3)
+    assert not gate_arity_ok(GateType.MUX, 2)
+    assert not gate_arity_ok(GateType.AND, 1)
+    with pytest.raises(ValueError):
+        evaluate_gate(GateType.AND, [bits(1)])
+    with pytest.raises(ValueError):
+        evaluate_gate(GateType.MUX, [bits(1), bits(0)])
+
+
+def test_feature_encoding_is_8_wide_and_excludes_mux():
+    assert NUM_GATE_FEATURES == 8
+    assert GateType.MUX not in FEATURE_GATE_ORDER
+    seen = {gate_feature_index(g) for g in FEATURE_GATE_ORDER}
+    assert seen == set(range(8))
+    with pytest.raises(ValueError):
+        gate_feature_index(GateType.MUX)

@@ -1,0 +1,189 @@
+"""Gradient checks and behaviour tests for NN ops, layers and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Conv1d,
+    Dropout,
+    GraphConv,
+    Linear,
+    Module,
+    SGD,
+    Tensor,
+    conv1d,
+    log_softmax,
+    max_pool1d,
+    softmax,
+    softmax_cross_entropy,
+)
+from tests.nn.test_tensor import numerical_grad
+
+RNG = np.random.default_rng(7)
+
+
+def check_grad(build, *arrays, rtol=1e-5):
+    tensors = [Tensor(a, requires_grad=True) for a in arrays]
+    build(*tensors).backward()
+    for tensor, array in zip(tensors, arrays):
+        num = numerical_grad(
+            lambda: build(*[Tensor(a) for a in arrays]).item(), array
+        )
+        np.testing.assert_allclose(tensor.grad, num, rtol=rtol, atol=1e-7)
+
+
+def test_conv1d_forward_known_values():
+    x = Tensor(np.arange(6, dtype=float).reshape(1, 1, 6))
+    w = Tensor(np.array([[[1.0, 1.0]]]))
+    b = Tensor(np.zeros(1))
+    out = conv1d(x, w, b, stride=1)
+    np.testing.assert_array_equal(out.data[0, 0], [1, 3, 5, 7, 9])
+    out2 = conv1d(x, w, b, stride=2)
+    np.testing.assert_array_equal(out2.data[0, 0], [1, 5, 9])
+
+
+def test_conv1d_gradients():
+    x = RNG.normal(size=(2, 3, 8))
+    w = RNG.normal(size=(4, 3, 3))
+    b = RNG.normal(size=(4,))
+    check_grad(
+        lambda xx, ww, bb: conv1d(xx, ww, bb, stride=2).sum(), x, w, b
+    )
+
+
+def test_conv1d_shape_validation():
+    x = Tensor(np.zeros((1, 2, 4)))
+    w = Tensor(np.zeros((1, 3, 2)))
+    with pytest.raises(ValueError):
+        conv1d(x, w, Tensor(np.zeros(1)))
+    w2 = Tensor(np.zeros((1, 2, 5)))
+    with pytest.raises(ValueError):
+        conv1d(x, w2, Tensor(np.zeros(1)))
+
+
+def test_max_pool1d_forward_and_grad():
+    x = Tensor(
+        np.array([[[1.0, 3.0, 2.0, 8.0, 5.0, 4.0]]]), requires_grad=True
+    )
+    out = max_pool1d(x, 2, 2)
+    np.testing.assert_array_equal(out.data[0, 0], [3, 8, 5])
+    out.sum().backward()
+    np.testing.assert_array_equal(
+        x.grad[0, 0], [0, 1, 0, 1, 1, 0]
+    )
+
+
+def test_max_pool1d_grad_numeric():
+    x = RNG.normal(size=(2, 2, 7))
+    check_grad(lambda xx: max_pool1d(xx, 3, 2).sum(), x)
+
+
+def test_log_softmax_and_softmax():
+    x = RNG.normal(size=(4, 3)) * 5
+    check_grad(lambda xx: (log_softmax(xx) * RNG_WEIGHTS).sum(), x)
+    probs = softmax(Tensor(x)).data
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+    assert (probs >= 0).all()
+
+
+RNG_WEIGHTS = RNG.normal(size=(4, 3))
+
+
+def test_cross_entropy_matches_manual():
+    logits = Tensor(np.array([[2.0, 0.5], [0.1, 1.2]]), requires_grad=True)
+    labels = np.array([0, 1])
+    loss = softmax_cross_entropy(logits, labels)
+    manual = -np.mean(
+        [
+            np.log(np.exp(2.0) / (np.exp(2.0) + np.exp(0.5))),
+            np.log(np.exp(1.2) / (np.exp(0.1) + np.exp(1.2))),
+        ]
+    )
+    assert loss.item() == pytest.approx(manual)
+
+
+def test_cross_entropy_gradient():
+    logits = RNG.normal(size=(5, 2))
+    labels = np.array([0, 1, 1, 0, 1])
+    check_grad(lambda t: softmax_cross_entropy(t, labels), logits)
+
+
+def test_cross_entropy_validation():
+    with pytest.raises(ValueError):
+        softmax_cross_entropy(Tensor(np.zeros((2, 2))), np.array([0]))
+
+
+def test_dropout_eval_mode_is_identity():
+    layer = Dropout(0.5, np.random.default_rng(0))
+    layer.eval()
+    x = Tensor(np.ones((4, 4)))
+    assert layer(x) is x
+
+
+def test_dropout_scales_kept_units():
+    layer = Dropout(0.5, np.random.default_rng(0))
+    x = Tensor(np.ones((100, 100)), requires_grad=True)
+    out = layer(x)
+    values = np.unique(out.data)
+    assert set(values) <= {0.0, 2.0}
+    # Unbiased in expectation.
+    assert out.data.mean() == pytest.approx(1.0, abs=0.05)
+
+
+def test_linear_layer_trains_to_regression_target():
+    rng = np.random.default_rng(3)
+    layer = Linear(4, 1, rng)
+    true_w = np.array([[1.0], [-2.0], [0.5], [3.0]])
+    x = rng.normal(size=(64, 4))
+    y = x @ true_w
+    opt = Adam(layer.parameters(), lr=0.05)
+    for _ in range(400):
+        opt.zero_grad()
+        pred = layer(Tensor(x))
+        loss = ((pred - Tensor(y)) ** 2).mean()
+        loss.backward()
+        opt.step()
+    np.testing.assert_allclose(layer.weight.data, true_w, atol=0.05)
+
+
+def test_sgd_descends():
+    t = Tensor(np.array([10.0]), requires_grad=True)
+    opt = SGD([t], lr=0.1)
+    for _ in range(100):
+        opt.zero_grad()
+        (t * t).sum().backward()
+        opt.step()
+    assert abs(t.data[0]) < 1e-3
+
+
+def test_graphconv_shapes_and_grad():
+    import scipy.sparse as sp
+
+    adj = sp.identity(5, format="csr")
+    layer = GraphConv(3, 4, np.random.default_rng(0))
+    h = Tensor(RNG.normal(size=(5, 3)), requires_grad=True)
+    out = layer(adj, h)
+    assert out.shape == (5, 4)
+    out.sum().backward()
+    assert h.grad is not None
+    assert layer.weight.grad is not None
+
+
+def test_module_parameter_discovery_and_state_dict():
+    class Net(Module):
+        def __init__(self):
+            rng = np.random.default_rng(0)
+            self.fc1 = Linear(3, 4, rng)
+            self.blocks = [Linear(4, 4, rng), Linear(4, 2, rng)]
+
+    net = Net()
+    params = net.parameters()
+    assert len(params) == 6  # 3 layers x (weight, bias)
+    state = net.state_dict()
+    for p in params:
+        p.data = p.data * 0
+    net.load_state_dict(state)
+    assert any(p.data.any() for p in net.parameters())
+    with pytest.raises(ValueError):
+        net.load_state_dict(state[:-1])

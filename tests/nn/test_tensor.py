@@ -1,0 +1,142 @@
+"""Numerical gradient checks for the autograd engine."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.nn import Tensor, concat, spmm
+
+
+def numerical_grad(fn, x, eps=1e-6):
+    """Central-difference gradient of scalar fn w.r.t. array x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = fn()
+        flat[i] = orig - eps
+        lo = fn()
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check(build, *arrays):
+    """Compare autograd and numerical gradients for scalar-valued build()."""
+    tensors = [Tensor(a, requires_grad=True) for a in arrays]
+    out = build(*tensors)
+    out.backward()
+    for tensor, array in zip(tensors, arrays):
+        num = numerical_grad(lambda: build(*[Tensor(a) for a in arrays]).item(), array)
+        assert tensor.grad is not None
+        np.testing.assert_allclose(tensor.grad, num, rtol=1e-5, atol=1e-7)
+
+
+RNG = np.random.default_rng(42)
+
+
+def test_add_mul_broadcast():
+    a = RNG.normal(size=(3, 4))
+    b = RNG.normal(size=(4,))
+    check(lambda x, y: ((x + y) * (x * 2.0 + 1.0)).sum(), a, b)
+
+
+def test_sub_div_pow():
+    a = RNG.normal(size=(2, 3)) + 3.0
+    b = RNG.normal(size=(2, 3)) + 3.0
+    check(lambda x, y: ((x - y) / y + x**2).sum(), a, b)
+
+
+def test_matmul():
+    a = RNG.normal(size=(3, 5))
+    b = RNG.normal(size=(5, 2))
+    check(lambda x, y: (x @ y).sum(), a, b)
+
+
+def test_activations():
+    a = RNG.normal(size=(4, 3))
+    check(lambda x: x.tanh().sum(), a)
+    check(lambda x: x.sigmoid().sum(), a)
+    check(lambda x: (x * x + 0.5).log().sum(), a)
+    check(lambda x: x.exp().sum(), a)
+
+
+def test_relu_gradient_masks():
+    a = np.array([[-1.0, 2.0], [3.0, -4.0]])
+    t = Tensor(a, requires_grad=True)
+    t.relu().sum().backward()
+    np.testing.assert_array_equal(t.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+
+def test_reshape_transpose():
+    a = RNG.normal(size=(2, 6))
+    check(lambda x: x.reshape(3, 4).transpose(1, 0).sum(), a)
+    check(lambda x: (x.T @ x).sum(), a)
+
+
+def test_sum_axis_and_mean():
+    a = RNG.normal(size=(3, 4))
+    check(lambda x: x.sum(axis=0).sum(), a)
+    check(lambda x: x.mean(axis=1).sum(), a)
+    check(lambda x: x.mean(), a)
+
+
+def test_gather_rows_with_padding():
+    a = RNG.normal(size=(5, 3))
+    idx = np.array([2, 2, -1, 0])
+
+    def build(x):
+        return x.gather_rows(idx).sum()
+
+    t = Tensor(a, requires_grad=True)
+    out = t.gather_rows(idx)
+    assert np.array_equal(out.data[2], np.zeros(3))  # -1 pads with zeros
+    build(t).backward()
+    expected = np.zeros_like(a)
+    expected[2] = 2.0  # selected twice
+    expected[0] = 1.0
+    np.testing.assert_array_equal(t.grad, expected)
+
+
+def test_spmm_gradient():
+    adj = sp.random(6, 6, density=0.4, random_state=1, format="csr")
+    h = RNG.normal(size=(6, 3))
+    check(lambda x: spmm(adj, x).sum(), h)
+
+
+def test_concat_gradient():
+    a = RNG.normal(size=(2, 3))
+    b = RNG.normal(size=(2, 2))
+    check(lambda x, y: concat([x, y], axis=1).sum(), a, b)
+
+
+def test_diamond_graph_accumulates():
+    """y = x*x + x must give dy/dx = 2x + 1 (two paths)."""
+    a = np.array([1.5, -2.0])
+    t = Tensor(a, requires_grad=True)
+    ((t * t) + t).sum().backward()
+    np.testing.assert_allclose(t.grad, 2 * a + 1)
+
+
+def test_grad_accumulates_across_backwards():
+    t = Tensor(np.array([1.0]), requires_grad=True)
+    (t * 2.0).sum().backward()
+    (t * 3.0).sum().backward()
+    np.testing.assert_allclose(t.grad, [5.0])
+    t.zero_grad()
+    assert t.grad is None
+
+
+def test_backward_requires_scalar():
+    t = Tensor(np.ones((2, 2)), requires_grad=True)
+    with pytest.raises(ValueError):
+        (t * 2.0).backward()
+
+
+def test_no_grad_tracking_when_not_required():
+    t = Tensor(np.ones(3))
+    out = (t * 2.0) + 1.0
+    assert not out.requires_grad
+    assert out._backward is None

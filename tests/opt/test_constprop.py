@@ -1,0 +1,158 @@
+"""Tests for constant propagation (functional equivalence is the invariant)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchgen import load_c17, random_netlist
+from repro.errors import NetlistError
+from repro.netlist import Circuit, Gate, GateType, parse_bench
+from repro.opt import propagate_constants
+from repro.sim import random_patterns, simulate, simulate_outputs
+
+
+def build(text):
+    c, _ = parse_bench(text)
+    return c
+
+
+def outputs_under(circuit, assignments, n_patterns=256, seed=0):
+    """Simulate with assigned inputs forced to constants."""
+    words, n = random_patterns(len(circuit.inputs), n_patterns, seed=seed)
+    stim = {}
+    for i, pi in enumerate(circuit.inputs):
+        if pi in assignments:
+            fill = np.uint64(0) if assignments[pi] == 0 else np.uint64(2**64 - 1)
+            stim[pi] = np.full_like(words[i], fill)
+        else:
+            stim[pi] = words[i]
+    return simulate_outputs(circuit, stim)
+
+
+def assert_equiv_under(original, assignments, seed=0):
+    simplified = propagate_constants(original, assignments)
+    simplified.validate()
+    ref = outputs_under(original, assignments, seed=seed)
+    words, _ = random_patterns(len(original.inputs), 256, seed=seed)
+    stim = {
+        pi: words[i]
+        for i, pi in enumerate(original.inputs)
+        if pi not in assignments
+    }
+    for extra in simplified.inputs:  # anchor inputs added for constants
+        if extra not in stim:
+            stim[extra] = np.zeros(words.shape[1], dtype=np.uint64)
+    got = simulate_outputs(simplified, stim)
+    assert np.array_equal(ref, got)
+    return simplified
+
+
+def test_and_controlling_zero():
+    c = build("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)")
+    s = assert_equiv_under(c, {"a": 0})
+    # y collapses to constant 0 (shared const net + interface buffer).
+    assert {g.gate_type for g in s.gates} <= {GateType.XOR, GateType.BUF}
+
+
+def test_and_identity_one():
+    c = build("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)")
+    s = assert_equiv_under(c, {"a": 1})
+    # y aliases b (via an interface buffer); no AND remains.
+    assert not any(g.gate_type is GateType.AND for g in s.gates)
+    assert s.outputs == ("y",)
+    assert s.gate("y").gate_type is GateType.BUF
+    assert s.gate("y").inputs == ("b",)
+
+
+def test_nand_single_live_input_becomes_not():
+    c = build("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)")
+    s = assert_equiv_under(c, {"a": 1})
+    assert s.gate("y").gate_type is GateType.NOT
+
+
+def test_or_nor_duals():
+    c = build("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\ny = OR(a, b)\nz = NOR(a, b)")
+    assert_equiv_under(c, {"a": 1})
+    assert_equiv_under(c, {"a": 0})
+
+
+def test_xor_folds_parity():
+    c = build("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = XOR(a, b, c)")
+    s = assert_equiv_under(c, {"a": 1})
+    assert s.gate("y").gate_type is GateType.XNOR
+    s2 = assert_equiv_under(c, {"a": 0})
+    assert s2.gate("y").gate_type is GateType.XOR
+    s3 = assert_equiv_under(c, {"a": 1, "b": 1})
+    assert s3.gate("y").gate_type is GateType.BUF
+    assert s3.gate("y").inputs == ("c",)
+
+
+def test_not_buf_chains():
+    c = build("INPUT(a)\nOUTPUT(y)\nn = NOT(a)\nb = BUF(n)\ny = NOT(b)")
+    s = assert_equiv_under(c, {"a": 1})
+    # Everything constant: y = NOT(NOT(1)) = 1.
+    assert len(s.outputs) == 1
+
+
+def test_mux_const_select():
+    c = build(
+        "INPUT(k)\nINPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = MUX(k, a, b)"
+    )
+    s0 = assert_equiv_under(c, {"k": 0})
+    assert s0.gate("y").inputs == ("a",)
+    s1 = assert_equiv_under(c, {"k": 1})
+    assert s1.gate("y").inputs == ("b",)
+
+
+def test_mux_const_data_variants():
+    base = "INPUT(k)\nINPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = MUX(k, a, b)"
+    c = build(base)
+    assert_equiv_under(c, {"a": 0})
+    assert_equiv_under(c, {"a": 1})
+    assert_equiv_under(c, {"b": 0})
+    assert_equiv_under(c, {"b": 1})
+    assert_equiv_under(c, {"a": 0, "b": 1})
+    assert_equiv_under(c, {"a": 1, "b": 0})
+    assert_equiv_under(c, {"a": 1, "b": 1})
+
+
+def test_mux_identical_branches():
+    c = build("INPUT(k)\nINPUT(a)\nOUTPUT(y)\ny = MUX(k, a, a)")
+    s = assert_equiv_under(c, {})
+    assert not any(g.gate_type is GateType.MUX for g in s.gates)
+
+
+def test_internal_net_assignment():
+    c = build(
+        "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nm = AND(a, b)\ny = OR(m, a)"
+    )
+    s = propagate_constants(c, {"m": 1})
+    s.validate()
+    # y = OR(1, a) = 1 -> constant output.
+    assert len(s.gates) >= 1
+
+
+def test_invalid_assignments_rejected():
+    c = load_c17()
+    with pytest.raises(NetlistError):
+        propagate_constants(c, {"nope": 0})
+    with pytest.raises(NetlistError):
+        propagate_constants(c, {"G1": 2})
+
+
+def test_c17_all_single_assignments_equivalent():
+    c = load_c17()
+    for pi in c.inputs:
+        for v in (0, 1):
+            assert_equiv_under(c, {pi: v})
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 500), data=st.data())
+def test_random_circuit_equivalence_property(seed, data):
+    """Constant propagation preserves function on random circuits."""
+    c = random_netlist("r", 6, 3, 50, seed=seed)
+    pi = data.draw(st.sampled_from(list(c.inputs)))
+    value = data.draw(st.integers(0, 1))
+    assert_equiv_under(c, {pi: value}, seed=seed)
