@@ -31,11 +31,15 @@ def main() -> None:
     bench_text = write_bench(locked.circuit)
     print(f"locked BENCH netlist: {len(bench_text.splitlines())} lines")
 
-    # 4. ... and runs MuxLink on it (oracle-less!).
+    # 4. ... and runs MuxLink on it (oracle-less!).  Enclosing subgraphs
+    # are extracted through the batched CSR pipeline; set ``n_workers=4``
+    # to stream extraction through a multiprocessing pool on big designs
+    # (the dataset is bit-identical for any worker count).
     config = MuxLinkConfig(
         h=3,
         threshold=0.01,
         train=TrainConfig(epochs=25, learning_rate=1e-3, seed=0),
+        n_workers=0,
     )
     result = run_muxlink(locked.circuit, config)
     print(f"predicted key: {result.predicted_key}")

@@ -5,8 +5,13 @@ Usage examples::
     python -m repro.cli generate c1355 --scale 0.3 -o c1355.bench
     python -m repro.cli lock c1355.bench --scheme dmux --key-size 16 -o locked.bench
     python -m repro.cli attack locked.bench --epochs 20 --h 3
+    python -m repro.cli attack locked.bench --workers 4   # parallel extraction
     python -m repro.cli saam locked.bench
     python -m repro.cli hd original.bench recovered.bench
+
+``attack`` runs subgraph extraction through the batched CSR pipeline
+(:mod:`repro.linkpred.subgraph`); ``--workers N`` streams it through N
+``multiprocessing`` workers — results are identical for any worker count.
 """
 
 from __future__ import annotations
@@ -61,6 +66,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
             epochs=args.epochs, learning_rate=args.learning_rate, seed=args.seed
         ),
         seed=args.seed,
+        n_workers=args.workers,
     )
     result = run_muxlink(circuit, config)
     print(f"predicted key: {result.predicted_key}")
@@ -142,6 +148,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epochs", type=int, default=20)
     p.add_argument("--learning-rate", type=float, default=1e-3)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="subgraph-extraction worker processes (0 = in-process)",
+    )
     p.set_defaults(func=_cmd_attack)
 
     p = sub.add_parser("saam", help="run the SAAM structural attack")

@@ -44,6 +44,8 @@ class MuxLinkConfig:
         train: GNN training hyper-parameters.
         use_drnl / use_gate_types: feature ablation switches.
         seed: sampling seed.
+        n_workers: subgraph-extraction worker processes (``<= 1`` runs
+            in-process; results are identical either way).
     """
 
     h: int = 3
@@ -55,6 +57,7 @@ class MuxLinkConfig:
     use_gate_types: bool = True
     use_degree: bool = True
     seed: int = 0
+    n_workers: int = 0
 
 
 @dataclass
@@ -109,6 +112,7 @@ def run_muxlink(
         use_drnl=config.use_drnl,
         use_gate_types=config.use_gate_types,
         use_degree=config.use_degree,
+        n_workers=config.n_workers,
     )
     runtime["sampling"] = time.perf_counter() - start
 
@@ -117,7 +121,9 @@ def run_muxlink(
     runtime["training"] = time.perf_counter() - start
 
     start = time.perf_counter()
-    target_examples = build_target_examples(graph, dataset)
+    target_examples = build_target_examples(
+        graph, dataset, n_workers=config.n_workers
+    )
     likelihoods = score_examples(
         model, [t.example for t in target_examples], config.train.batch_size
     )

@@ -57,6 +57,8 @@ class ExperimentScale:
         threshold: post-processing ``th``.
         epochs / learning_rate: GNN training budget.
         hd_patterns: random patterns for Hamming-distance runs.
+        n_workers: subgraph-extraction worker processes passed to
+            :class:`MuxLinkConfig` (overridable via ``REPRO_WORKERS``).
     """
 
     name: str
@@ -71,6 +73,7 @@ class ExperimentScale:
     epochs: int = 15
     learning_rate: float = 1e-3
     hd_patterns: int = 10_000
+    n_workers: int = 0
 
     def benchmarks(self) -> tuple[tuple[str, float, tuple[int, ...]], ...]:
         """``(name, scale, key_sizes)`` for every included benchmark."""
@@ -84,6 +87,7 @@ class ExperimentScale:
         return tuple(rows)
 
     def attack_config(self, seed: int = 0) -> MuxLinkConfig:
+        workers = int(os.environ.get("REPRO_WORKERS", self.n_workers))
         return MuxLinkConfig(
             h=self.h,
             threshold=self.threshold,
@@ -91,6 +95,7 @@ class ExperimentScale:
                 epochs=self.epochs, learning_rate=self.learning_rate, seed=seed
             ),
             seed=seed,
+            n_workers=workers,
         )
 
 

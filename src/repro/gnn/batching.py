@@ -78,19 +78,41 @@ class GraphBatch:
 
 
 def build_batch(examples: list[GraphExample]) -> GraphBatch:
-    """Fuse *examples* into one :class:`GraphBatch`."""
+    """Fuse *examples* into one :class:`GraphBatch`.
+
+    The block-diagonal ``D^-1 (A + I)`` operator is assembled directly from
+    the concatenated (offset) edge arrays with a single ``sp.coo_matrix``
+    call — no per-example sparse matrices, no ``sp.block_diag``.
+    """
     if not examples:
         raise ValueError("cannot batch zero graphs")
     widths = {e.features.shape[1] for e in examples}
     if len(widths) != 1:
         raise ValueError(f"inconsistent feature widths {sorted(widths)}")
-    blocks = [normalized_adjacency(e.n_nodes, e.edges) for e in examples]
     features = np.vstack([e.features for e in examples])
     sizes = np.array([e.n_nodes for e in examples])
     offsets = np.concatenate([[0], np.cumsum(sizes)])
     labels = np.array([e.label for e in examples], dtype=np.int64)
+
+    total = int(offsets[-1])
+    shifted = [
+        e.edges + off for e, off in zip(examples, offsets) if e.edges.size
+    ]
+    if shifted:
+        stacked = np.concatenate(shifted)
+        rows = np.concatenate([stacked[:, 0], stacked[:, 1]])
+        cols = np.concatenate([stacked[:, 1], stacked[:, 0]])
+        adj = sp.coo_matrix(
+            (np.ones(len(rows)), (rows, cols)), shape=(total, total)
+        ).tocsr()
+        adj.data[:] = 1.0  # collapse duplicate edges
+    else:
+        adj = sp.csr_matrix((total, total))
+    adj = adj + sp.identity(total, format="csr")
+    degree = np.asarray(adj.sum(axis=1)).ravel()
+    adj.data /= np.repeat(degree, np.diff(adj.indptr))
     return GraphBatch(
-        norm_adj=sp.block_diag(blocks, format="csr"),
+        norm_adj=adj,
         features=features,
         node_offsets=offsets,
         labels=labels,

@@ -1,4 +1,12 @@
-"""SEAL-style link-prediction pipeline over locked netlists."""
+"""SEAL-style link-prediction pipeline over locked netlists.
+
+The data path is fully vectorized: :class:`AttackGraph` stores its
+adjacency as flat CSR arrays, :func:`extract_enclosing_subgraphs` expands
+all BFS frontiers of a batch of target pairs together over those arrays
+(reusing distance maps across pairs that share an endpoint), and
+:func:`build_link_dataset` featurizes whole splits array-at-a-time —
+optionally fanned out over a ``multiprocessing`` pool via ``n_workers``.
+"""
 
 from repro.linkpred.dataset import (
     LinkDataset,
@@ -11,7 +19,9 @@ from repro.linkpred.sampling import LinkSample, sample_links
 from repro.linkpred.subgraph import (
     EnclosingSubgraph,
     drnl_label,
+    drnl_label_array,
     extract_enclosing_subgraph,
+    extract_enclosing_subgraphs,
 )
 from repro.linkpred.trainer import (
     TrainConfig,
@@ -26,7 +36,9 @@ __all__ = [
     "extract_attack_graph",
     "EnclosingSubgraph",
     "drnl_label",
+    "drnl_label_array",
     "extract_enclosing_subgraph",
+    "extract_enclosing_subgraphs",
     "LinkSample",
     "sample_links",
     "LinkDataset",

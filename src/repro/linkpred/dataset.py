@@ -4,11 +4,20 @@ Each sampled link becomes an enclosing subgraph with a node-information
 matrix ``X = [gate-type one-hot (8) | DRNL one-hot]``.  The DRNL one-hot
 width is fixed by the largest label seen in the *training* material; larger
 labels encountered at attack time clamp to the "far" bucket.
+
+Subgraphs are extracted through the batched CSR pipeline
+(:func:`repro.linkpred.subgraph.extract_enclosing_subgraphs`) and
+featurized array-at-a-time: the label / gate-type / degree vectors of the
+whole split are concatenated, one-hot encoded with a single scatter each,
+and split back into per-example views.  Pass ``n_workers > 1`` to stream
+extraction through a ``multiprocessing`` pool (deterministic: workers
+process contiguous chunks and results are reassembled in order).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -16,13 +25,64 @@ from repro.errors import TrainingError
 from repro.gnn import GraphExample
 from repro.linkpred.graph import AttackGraph, MuxTarget
 from repro.linkpred.sampling import LinkSample
-from repro.linkpred.subgraph import EnclosingSubgraph, extract_enclosing_subgraph
+from repro.linkpred.subgraph import (
+    EnclosingSubgraph,
+    extract_enclosing_subgraph,
+    extract_enclosing_subgraphs,
+)
 from repro.netlist import NUM_GATE_FEATURES
 
 __all__ = ["LinkDataset", "TargetExample", "build_link_dataset", "build_target_examples"]
 
 
 _MAX_DEGREE_FEATURE = 8
+
+# Worker-process state: the graph is shipped once per worker through the
+# pool initializer instead of once per task.
+_WORKER_GRAPH: AttackGraph | None = None
+_WORKER_H: int = 0
+
+
+def _init_worker(graph: AttackGraph, h: int) -> None:
+    global _WORKER_GRAPH, _WORKER_H
+    _WORKER_GRAPH = graph
+    _WORKER_H = h
+
+
+def _extract_chunk(pairs: list[tuple[int, int]]) -> list[EnclosingSubgraph]:
+    assert _WORKER_GRAPH is not None
+    return extract_enclosing_subgraphs(_WORKER_GRAPH, pairs, _WORKER_H)
+
+
+def _extract_pairs(
+    graph: AttackGraph,
+    pairs: list[tuple[int, int]],
+    h: int,
+    n_workers: int = 0,
+) -> list[EnclosingSubgraph]:
+    """Extract subgraphs for *pairs*, optionally across a worker pool.
+
+    Results are always in input order; ``n_workers <= 1`` runs in-process.
+    Chunks are contiguous so endpoint-sharing pairs (both candidates of a
+    MUX arrive back to back) still hit the per-chunk BFS cache.
+    """
+    if n_workers and n_workers > 1 and len(pairs) > 1:
+        import multiprocessing
+
+        workers = min(n_workers, len(pairs))
+        chunk_size = max(1, -(-len(pairs) // (workers * 4)))
+        if chunk_size % 2:  # keep (d0, load)/(d1, load) pairs together
+            chunk_size += 1
+        chunks = [
+            pairs[start : start + chunk_size]
+            for start in range(0, len(pairs), chunk_size)
+        ]
+        with multiprocessing.get_context().Pool(
+            workers, initializer=_init_worker, initargs=(graph, h)
+        ) as pool:
+            results = pool.map(_extract_chunk, chunks)
+        return [sub for chunk in results for sub in chunk]
+    return extract_enclosing_subgraphs(graph, pairs, h)
 
 
 def _features(
@@ -32,25 +92,54 @@ def _features(
     use_gate_types: bool = True,
     use_degree: bool = True,
 ) -> np.ndarray:
-    n = subgraph.n_nodes
-    blocks: list[np.ndarray] = []
-    if use_gate_types:
-        gate_block = np.zeros((n, NUM_GATE_FEATURES))
-        gate_block[np.arange(n), subgraph.gate_type_ids] = 1.0
-        blocks.append(gate_block)
-    if use_drnl:
-        label_block = np.zeros((n, max_label + 1))
-        clamped = np.minimum(subgraph.labels, max_label)
-        label_block[np.arange(n), clamped] = 1.0
-        blocks.append(label_block)
-    if use_degree:
-        degree_block = np.zeros((n, _MAX_DEGREE_FEATURE))
-        clamped = np.minimum(subgraph.degrees, _MAX_DEGREE_FEATURE - 1)
-        degree_block[np.arange(n), clamped] = 1.0
-        blocks.append(degree_block)
-    if not blocks:
-        blocks.append(np.ones((n, 1)))
-    return np.hstack(blocks)
+    """Node-information matrix for a single subgraph."""
+    return _features_batch(
+        [subgraph], max_label, use_drnl, use_gate_types, use_degree
+    )[0]
+
+
+def _features_batch(
+    subgraphs: Sequence[EnclosingSubgraph],
+    max_label: int,
+    use_drnl: bool = True,
+    use_gate_types: bool = True,
+    use_degree: bool = True,
+) -> list[np.ndarray]:
+    """Node-information matrices for many subgraphs in one pass.
+
+    The whole split's matrix is allocated once and every one-hot block is
+    scattered straight into its column range (one fancy-indexed assignment
+    per block, no per-example loops, no ``hstack`` copy); the result is
+    split back into per-subgraph views.
+    """
+    sizes = np.array([s.n_nodes for s in subgraphs], dtype=np.int64)
+    bounds = np.concatenate(([0], np.cumsum(sizes)))
+    total = int(bounds[-1])
+    width = (
+        (NUM_GATE_FEATURES if use_gate_types else 0)
+        + (max_label + 1 if use_drnl else 0)
+        + (_MAX_DEGREE_FEATURE if use_degree else 0)
+    )
+    if width == 0:
+        stacked = np.ones((total, 1))
+    else:
+        stacked = np.zeros((total, width))
+        rows = np.arange(total)
+        col = 0
+        if use_gate_types:
+            ids = np.concatenate([s.gate_type_ids for s in subgraphs])
+            stacked[rows, ids] = 1.0
+            col += NUM_GATE_FEATURES
+        if use_drnl:
+            labels = np.concatenate([s.labels for s in subgraphs])
+            stacked[rows, col + np.minimum(labels, max_label)] = 1.0
+            col += max_label + 1
+        if use_degree:
+            degrees = np.concatenate([s.degrees for s in subgraphs])
+            stacked[rows, col + np.minimum(degrees, _MAX_DEGREE_FEATURE - 1)] = 1.0
+    return [
+        stacked[bounds[i] : bounds[i + 1]] for i in range(len(subgraphs))
+    ]
 
 
 @dataclass
@@ -75,26 +164,40 @@ def build_link_dataset(
     use_drnl: bool = True,
     use_gate_types: bool = True,
     use_degree: bool = True,
+    n_workers: int = 0,
 ) -> LinkDataset:
-    """Extract and featurize enclosing subgraphs for every sampled link."""
-    raw: list[tuple[EnclosingSubgraph, int, bool]] = []
-    max_label = 1
-    for split_is_train, links in ((True, sample.train), (False, sample.validation)):
-        for u, v, label in links:
-            sub = extract_enclosing_subgraph(graph, u, v, h)
-            raw.append((sub, label, split_is_train))
-            max_label = max(max_label, int(sub.labels.max(initial=0)))
-    if not raw:
+    """Extract and featurize enclosing subgraphs for every sampled link.
+
+    Args:
+        graph: the attack graph.
+        sample: sampled train/validation links.
+        h: enclosing-subgraph hop count.
+        use_drnl / use_gate_types / use_degree: feature ablation switches.
+        n_workers: extraction worker processes (``<= 1`` = in-process).
+    """
+    links = [(u, v, label, True) for u, v, label in sample.train]
+    links += [(u, v, label, False) for u, v, label in sample.validation]
+    if not links:
         raise TrainingError("no links to build a dataset from")
+
+    subgraphs = _extract_pairs(
+        graph, [(u, v) for u, v, _, _ in links], h, n_workers
+    )
+    max_label = max(
+        1, max(int(s.labels.max(initial=0)) for s in subgraphs)
+    )
+    features = _features_batch(
+        subgraphs, max_label, use_drnl, use_gate_types, use_degree
+    )
 
     train: list[GraphExample] = []
     validation: list[GraphExample] = []
     sizes: list[int] = []
-    for sub, label, is_train in raw:
+    for sub, feats, (_, _, label, is_train) in zip(subgraphs, features, links):
         example = GraphExample(
             n_nodes=sub.n_nodes,
             edges=sub.edges,
-            features=_features(sub, max_label, use_drnl, use_gate_types, use_degree),
+            features=feats,
             label=label,
         )
         (train if is_train else validation).append(example)
@@ -130,30 +233,45 @@ class TargetExample:
 
 
 def build_target_examples(
-    graph: AttackGraph, dataset: LinkDataset
+    graph: AttackGraph, dataset: LinkDataset, n_workers: int = 0
 ) -> list[TargetExample]:
     """Featurize both candidate links of every key MUX.
 
     Must use the *training* feature configuration (same ``max_label`` and
-    blocks) so the model sees consistent input widths.
+    blocks) so the model sees consistent input widths.  Both candidates of
+    a MUX share the ``load`` endpoint, so batching them through the CSR
+    pipeline reuses that BFS between them.
     """
-    out: list[TargetExample] = []
-    for target in graph.targets:
-        for driver, load, select_value in target.candidates():
-            sub = extract_enclosing_subgraph(graph, driver, load, dataset.h)
-            example = GraphExample(
+    records = [
+        (target, select_value, driver, load)
+        for target in graph.targets
+        for driver, load, select_value in target.candidates()
+    ]
+    subgraphs = _extract_pairs(
+        graph,
+        [(driver, load) for _, _, driver, load in records],
+        dataset.h,
+        n_workers,
+    )
+    features = _features_batch(
+        subgraphs,
+        dataset.max_label,
+        dataset.use_drnl,
+        dataset.use_gate_types,
+        dataset.use_degree,
+    )
+    return [
+        TargetExample(
+            target=target,
+            select_value=select_value,
+            example=GraphExample(
                 n_nodes=sub.n_nodes,
                 edges=sub.edges,
-                features=_features(
-                    sub,
-                    dataset.max_label,
-                    dataset.use_drnl,
-                    dataset.use_gate_types,
-                    dataset.use_degree,
-                ),
+                features=feats,
                 label=-1,
-            )
-            out.append(
-                TargetExample(target=target, select_value=select_value, example=example)
-            )
-    return out
+            ),
+        )
+        for (target, select_value, _, _), sub, feats in zip(
+            records, subgraphs, features
+        )
+    ]

@@ -5,17 +5,27 @@ inputs, removes them from the netlist, and converts the rest to an
 undirected gate graph.  Primary inputs and outputs are *not* nodes — the
 GNN learns the composition of gates, nothing else.  Every data input of a
 removed MUX becomes a *target link* candidate.
+
+The adjacency is stored in CSR form (``indptr``/``indices`` int32 arrays
+with the neighbor list of node ``u`` at ``indices[indptr[u]:indptr[u+1]]``,
+sorted ascending).  The whole subgraph-extraction hot path
+(:mod:`repro.linkpred.subgraph`) operates on these flat arrays with
+vectorized numpy kernels; :attr:`AttackGraph.neighbors` remains available
+as a set-per-node compatibility view for callers that predate the CSR
+backbone.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.errors import AttackError
 from repro.locking.keys import is_key_input, key_input_index
-from repro.netlist import Circuit, GateType
+from repro.netlist import Circuit, GateType, gate_feature_index
 
-__all__ = ["AttackGraph", "MuxTarget", "extract_attack_graph"]
+__all__ = ["AttackGraph", "MuxTarget", "NeighborView", "extract_attack_graph"]
 
 
 @dataclass(frozen=True)
@@ -41,43 +51,138 @@ class MuxTarget:
         return (self.cand_d0, self.load, 0), (self.cand_d1, self.load, 1)
 
 
-@dataclass
+class NeighborView:
+    """Sequence of per-node neighbor sets backed by the CSR arrays.
+
+    Compatibility shim for pre-CSR callers: ``view[u]`` materializes the
+    neighbor set of ``u`` (an O(degree) copy), so hot loops should read the
+    CSR arrays directly via :meth:`AttackGraph.neighbor_array`.
+    """
+
+    __slots__ = ("_indptr", "_indices")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray) -> None:
+        self._indptr = indptr
+        self._indices = indices
+
+    def __len__(self) -> int:
+        return len(self._indptr) - 1
+
+    def __getitem__(self, node: int) -> set[int]:
+        if node < 0:  # list-style wraparound, like the legacy list[set]
+            node += len(self)
+        if not 0 <= node < len(self):
+            raise IndexError(f"node {node} out of range")
+        start, end = self._indptr[node], self._indptr[node + 1]
+        return set(map(int, self._indices[start:end]))
+
+    def __iter__(self):
+        for node in range(len(self)):
+            yield self[node]
+
+
+@dataclass(eq=False)
 class AttackGraph:
     """Undirected gate graph with the key MUXes stripped out.
 
     Attributes:
         node_names: gate name per node index.
         index: inverse mapping.
-        neighbors: adjacency sets over *observed* links only (target links
-            and key logic excluded).
+        indptr: CSR row pointer, shape ``(n_nodes + 1,)``.
+        indices: CSR column indices (neighbors, sorted per row) over
+            *observed* links only — target links and key logic excluded.
         gate_types: per-node Boolean function (never ``MUX``).
+        gate_feature_ids: per-node feature row (0–7), precomputed once so
+            extraction never touches the enum in the hot path.
         targets: one record per removed key MUX.
     """
 
     node_names: list[str]
     index: dict[str, int]
-    neighbors: list[set[int]]
+    indptr: np.ndarray
+    indices: np.ndarray
     gate_types: list[GateType]
-    targets: list[MuxTarget]
+    gate_feature_ids: np.ndarray = field(default=None)  # type: ignore[assignment]
+    targets: list[MuxTarget] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # int32 halves the memory bandwidth of the extraction hot path;
+        # gate-level netlists stay far below 2**31 nodes/edges.
+        self.indptr = np.asarray(self.indptr, dtype=np.int32)
+        self.indices = np.asarray(self.indices, dtype=np.int32)
+        if self.gate_feature_ids is None:
+            self.gate_feature_ids = np.array(
+                [gate_feature_index(gt) for gt in self.gate_types],
+                dtype=np.int64,
+            )
+
+    @classmethod
+    def from_neighbor_sets(
+        cls,
+        node_names: list[str],
+        index: dict[str, int],
+        neighbors: list[set[int]],
+        gate_types: list[GateType],
+        targets: list[MuxTarget],
+    ) -> "AttackGraph":
+        """Build the CSR arrays from a legacy ``list[set[int]]`` adjacency."""
+        degrees = np.fromiter(
+            (len(n) for n in neighbors), dtype=np.int32, count=len(neighbors)
+        )
+        indptr = np.zeros(len(neighbors) + 1, dtype=np.int32)
+        np.cumsum(degrees, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.int32)
+        for u, nbrs in enumerate(neighbors):
+            indices[indptr[u] : indptr[u + 1]] = sorted(nbrs)
+        return cls(
+            node_names=node_names,
+            index=index,
+            indptr=indptr,
+            indices=indices,
+            gate_types=gate_types,
+            targets=targets,
+        )
 
     @property
     def n_nodes(self) -> int:
         return len(self.node_names)
 
+    @property
+    def neighbors(self) -> NeighborView:
+        """Per-node neighbor *sets* (compatibility view over the CSR arrays)."""
+        return NeighborView(self.indptr, self.indices)
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Observed degree per node, shape ``(n_nodes,)``."""
+        return np.diff(self.indptr)
+
+    def neighbor_array(self, node: int) -> np.ndarray:
+        """Neighbors of *node* as a sorted int32 array view (no copy)."""
+        return self.indices[self.indptr[node] : self.indptr[node + 1]]
+
     def n_edges(self) -> int:
-        return sum(len(n) for n in self.neighbors) // 2
+        return len(self.indices) // 2
+
+    def edges_array(self) -> np.ndarray:
+        """All observed undirected edges as an ``(E, 2)`` array, ``u < v``.
+
+        Rows are ordered by ``u`` then ``v`` (CSR rows are sorted), so the
+        result is deterministic for a given graph.
+        """
+        u = np.repeat(np.arange(self.n_nodes, dtype=np.int64), self.degrees)
+        v = self.indices
+        keep = u < v
+        return np.column_stack((u[keep], v[keep]))
 
     def edges(self) -> list[tuple[int, int]]:
-        """All observed undirected edges as ``(u, v)`` with ``u < v``."""
-        out = []
-        for u, nbrs in enumerate(self.neighbors):
-            for v in nbrs:
-                if u < v:
-                    out.append((u, v))
-        return out
+        """All observed undirected edges as ``(u, v)`` tuples with ``u < v``."""
+        return [tuple(row) for row in self.edges_array().tolist()]
 
     def has_edge(self, u: int, v: int) -> bool:
-        return v in self.neighbors[u]
+        row = self.neighbor_array(u)
+        pos = int(np.searchsorted(row, v))
+        return pos < len(row) and row[pos] == v
 
 
 def _is_key_mux(circuit: Circuit, name: str) -> bool:
@@ -148,7 +253,7 @@ def extract_attack_graph(circuit: Circuit) -> AttackGraph:
                     cand_d1=index[d1],
                 )
             )
-    return AttackGraph(
+    return AttackGraph.from_neighbor_sets(
         node_names=node_names,
         index=index,
         neighbors=neighbors,

@@ -92,14 +92,14 @@ def sample_links(
     while len(negatives) < n_hard and attempts < max_attempts:
         attempts += 1
         u = int(rng.integers(n))
-        nbrs = list(graph.neighbors[u])
-        if not nbrs:
+        nbrs = graph.neighbor_array(u)
+        if not len(nbrs):
             continue
-        mid = nbrs[int(rng.integers(len(nbrs)))]
-        hops2 = list(graph.neighbors[mid])
-        if not hops2:
+        mid = int(nbrs[int(rng.integers(len(nbrs)))])
+        hops2 = graph.neighbor_array(mid)
+        if not len(hops2):
             continue
-        try_add(u, hops2[int(rng.integers(len(hops2)))])
+        try_add(u, int(hops2[int(rng.integers(len(hops2)))]))
 
     attempts = 0
     max_attempts = per_class * 200

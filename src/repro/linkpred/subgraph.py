@@ -6,18 +6,47 @@ radius node label (DRNL, Eq. 3) describing its position relative to the
 target pair; following SEAL, the distance to one target is computed with
 the *other* target removed so labels do not collapse through it, and any
 direct ``f–g`` edge is removed first.
+
+This is the attack's hot path: four BFS traversals per sampled link, for
+up to 100 000 training links plus every target candidate.  The pipeline
+therefore runs on the CSR arrays of :class:`~repro.linkpred.graph
+.AttackGraph`, vectorized *across pairs*:
+
+* pairs are processed in memory-bounded chunks;
+* the (up to) four BFS queries of every pair in a chunk are deduplicated —
+  both candidate links of a key MUX share the same ``load`` node, so its
+  membership BFS runs once — and all surviving sources expand together as
+  one multi-source frontier (one fancy-indexed gather per level);
+* membership, DRNL labels, induced edges, and per-node features of the
+  whole chunk are then assembled with a handful of array ops and split
+  back into per-pair :class:`EnclosingSubgraph` records.
+
+:func:`extract_enclosing_subgraph` is the batch pipeline run on a single
+pair, so both entry points produce identical subgraphs by construction.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.linkpred.graph import AttackGraph
 
-__all__ = ["EnclosingSubgraph", "extract_enclosing_subgraph", "drnl_label"]
+__all__ = [
+    "EnclosingSubgraph",
+    "extract_enclosing_subgraph",
+    "extract_enclosing_subgraphs",
+    "drnl_label",
+    "drnl_label_array",
+]
+
+#: Soft bound on (pairs per chunk) x (graph nodes).  The BFS universe is
+#: randomly accessed, so the sweet spot keeps it cache-resident (a few
+#: megabytes) rather than maximally batched; it also bounds memory for
+#: paper-scale ITC-99 graphs.
+_CHUNK_CELLS = 400_000
 
 
 def drnl_label(df: int | None, dg: int | None) -> int:
@@ -42,13 +71,26 @@ def drnl_label(df: int | None, dg: int | None) -> int:
     return 1 + min(df, dg) + half * (half + rem - 1)
 
 
+def drnl_label_array(dist_f: np.ndarray, dist_g: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`drnl_label` over distance arrays (``-1`` = unreachable)."""
+    df = dist_f.astype(np.int64)
+    dg = dist_g.astype(np.int64)
+    d = df + dg
+    half = d // 2
+    rem = d % 2
+    labels = 1 + np.minimum(df, dg) + half * (half + rem - 1)
+    labels[(df < 0) | (dg < 0)] = 0
+    labels[(df == 0) | (dg == 0)] = 1
+    return labels
+
+
 @dataclass(frozen=True)
 class EnclosingSubgraph:
     """An extracted h-hop enclosing subgraph.
 
     Attributes:
         nodes: original node indices (position 0 is ``f``, position 1 is
-            ``g``).
+            ``g``, the rest ascend).
         edges: local-index undirected edge array ``(E, 2)``.
         labels: DRNL label per local node.
         gate_type_ids: feature row (0–7) per local node.
@@ -67,30 +109,324 @@ class EnclosingSubgraph:
         return len(self.nodes)
 
 
-def _bounded_bfs(
+def _gather_rows(
+    indptr: np.ndarray, indices: np.ndarray, nodes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate the CSR rows of *nodes*.
+
+    Returns ``(counts, neighbors)`` where ``counts[i]`` is the degree of
+    ``nodes[i]`` and ``neighbors`` lays the rows out back to back — one
+    vectorized gather, no Python loop over rows.
+    """
+    starts = indptr[nodes]
+    counts = indptr[nodes + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return counts, np.empty(0, dtype=indices.dtype)
+    row_offsets = np.cumsum(counts, dtype=np.int32) - counts
+    positions = np.arange(total, dtype=np.int32) + np.repeat(
+        starts - row_offsets, counts
+    )
+    return counts, indices[positions]
+
+
+class _Workspace:
+    """Reusable buffers for chunked extraction.
+
+    Allocation is expensive relative to the per-chunk work (the BFS
+    universe is tens of megabytes), so the distance matrix, dedupe stamps
+    and the flattened edge-key table are created once per batch and shared
+    by every chunk.
+    """
+
+    def __init__(self, graph: AttackGraph, max_pairs: int) -> None:
+        n = graph.n_nodes
+        self.capacity = 4 * max_pairs * n  # at most four BFS rows per pair
+        self.dist_buf = np.empty(self.capacity, dtype=np.int8)
+        # Monotonic last-writer-wins stamps: the counter starts at 1 and
+        # only grows, so stale values (or the initial zeros) can never
+        # collide with a live position and the buffer is only re-zeroed on
+        # (rare) counter wrap-around.
+        self.stamp = np.zeros(self.capacity, dtype=np.int32)
+        self.stamp_counter = 1
+        self.local = np.full(max_pairs * n, -1, dtype=np.int32)
+        # Flattened undirected edges u*n + v, strictly increasing by CSR
+        # construction; membership tests are one binary search.
+        self.edge_keys = (
+            np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr)) * n
+            + graph.indices
+        )
+        self.degrees = np.diff(graph.indptr)
+
+    def stamp_range(self, count: int) -> np.ndarray:
+        """Fresh, never-before-issued stamp values for *count* candidates."""
+        if self.stamp_counter + count >= 2**31:
+            self.stamp[:] = 0
+            self.stamp_counter = 1
+        positions = np.arange(
+            self.stamp_counter, self.stamp_counter + count, dtype=np.int32
+        )
+        self.stamp_counter += count
+        return positions
+
+
+def _multi_source_bfs(
     graph: AttackGraph,
-    start: int,
+    starts: np.ndarray,
+    blocked: np.ndarray,
+    excluded: np.ndarray,
+    n_long: int,
     h: int,
-    blocked: int | None = None,
-    forbidden_edge: tuple[int, int] | None = None,
-) -> dict[int, int]:
-    """Distances from *start* up to *h* hops, avoiding *blocked* node and
-    *forbidden_edge* (the target link itself)."""
-    dist = {start: 0}
-    frontier = deque([start])
-    while frontier:
-        node = frontier.popleft()
-        d = dist[node]
-        if d == h:
-            continue
-        for nbr in graph.neighbors[node]:
-            if nbr == blocked or nbr in dist:
-                continue
-            if forbidden_edge and {node, nbr} == set(forbidden_edge):
-                continue
-            dist[nbr] = d + 1
-            frontier.append(nbr)
+    workspace: _Workspace | None = None,
+) -> np.ndarray:
+    """Bounded BFS from many sources at once over the CSR arrays.
+
+    The first *n_long* sources explore up to ``2 * h`` hops (DRNL
+    labelling), the rest up to ``h`` (membership).  Source ``s`` never
+    enters ``blocked[s]`` (``-1`` = none) and skips ``excluded[s]`` among
+    the start's direct neighbors.  Skipping the excluded node at the first
+    hop is exactly SEAL's forbidden target edge: the edge touches the
+    start, so it can only ever be traversed out of the start itself —
+    later traversals back into the start are already dropped as visited.
+    All frontiers advance together: each level is one neighbor gather plus
+    a few mask/index ops, regardless of how many sources are active.
+
+    Returns:
+        ``(n_sources, n_nodes)`` int8 distance matrix, negative where a
+        node is beyond the hop budget (or blocked).
+    """
+    n = graph.n_nodes
+    n_sources = len(starts)
+    if workspace is None:
+        workspace = _Workspace(graph, max(n_sources // 2 + 1, 1))
+    # The distance matrix doubles as the visited set (-1 = unvisited,
+    # -2 = blocked); the narrow dtype keeps the randomly-accessed
+    # per-source universe cache-resident.
+    flat_dist = workspace.dist_buf[: n_sources * n]
+    flat_dist.fill(-1)
+    dist = flat_dist.reshape(n_sources, n)
+    stamp = workspace.stamp
+
+    rows = np.arange(n_sources, dtype=np.int32)
+    has_block = blocked >= 0
+    flat_dist[rows[has_block] * n + blocked[has_block]] = -2
+    flat_dist[rows * n + starts] = 0
+
+    frontier_src = rows
+    frontier_node = starts.astype(np.int32)
+    for level in range(1, 2 * h + 1):
+        if level == h + 1:
+            # Membership sources are exhausted; frontiers discovered later
+            # can only descend from labelling sources, so this is the only
+            # level that needs the budget filter.
+            active = frontier_src < n_long
+            frontier_src = frontier_src[active]
+            frontier_node = frontier_node[active]
+        if not frontier_node.size:
+            break
+        counts, nbrs = _gather_rows(graph.indptr, graph.indices, frontier_node)
+        if not nbrs.size:
+            break
+        src = np.repeat(frontier_src, counts)
+        flat = src * n + nbrs
+        ok = flat_dist[flat] == -1
+        if level == 1:
+            ok &= nbrs != excluded[src]
+        if level == 2 * h:
+            # The final level is never expanded: write the distances and
+            # skip the frontier bookkeeping (it is also the widest level).
+            flat_dist[flat[ok]] = level
+            break
+        src, nbrs, flat = src[ok], nbrs[ok], flat[ok]
+        if not flat.size:
+            break
+        flat_dist[flat] = level
+        # Dedupe in O(frontier): scatter each candidate's (globally unique)
+        # position, keep the copy whose position survived the scatter.
+        positions = workspace.stamp_range(len(flat))
+        stamp[flat] = positions
+        first = stamp[flat] == positions
+        frontier_src = src[first]
+        frontier_node = nbrs[first]
     return dist
+
+
+def _extract_chunk(
+    graph: AttackGraph,
+    f: np.ndarray,
+    g: np.ndarray,
+    h: int,
+    workspace: _Workspace,
+) -> list[EnclosingSubgraph]:
+    """Run the full vectorized pipeline on one chunk of target pairs."""
+    n = graph.n_nodes
+    n_pairs = len(f)
+    pair_ids = np.arange(n_pairs, dtype=np.int64)
+
+    # The direct f–g edge is excluded from every traversal, which only
+    # matters when it is actually observed; normalizing absent edges to
+    # (-1, -1) lets pairs that share an endpoint share a BFS below.
+    pair_keys = f * n + g
+    pos = np.searchsorted(workspace.edge_keys, pair_keys)
+    observed = np.zeros(n_pairs, dtype=bool)
+    in_range = pos < len(workspace.edge_keys)
+    observed[in_range] = workspace.edge_keys[pos[in_range]] == pair_keys[in_range]
+
+    # BFS source table.  Labelling sources (budget 2h) come first: rows
+    # 2p / 2p+1 run from f[p] / g[p] with the other target blocked (the
+    # blocked partner also subsumes the forbidden target edge for them).
+    # Membership sources (budget h) follow; pairs without an observed
+    # target edge share one row per distinct endpoint — both candidates of
+    # a key MUX share the load node, so its membership BFS runs once.
+    # Observed pairs get private membership rows whose first hop skips the
+    # partner (SEAL's forbidden edge).
+    label_starts = np.empty(2 * n_pairs, dtype=np.int32)
+    label_starts[0::2] = f
+    label_starts[1::2] = g
+    label_blocked = np.empty(2 * n_pairs, dtype=np.int32)
+    label_blocked[0::2] = g
+    label_blocked[1::2] = f
+
+    unobs = ~observed
+    shared_nodes = np.unique(np.concatenate((f[unobs], g[unobs]))).astype(
+        np.int32
+    )
+    obs_idx = np.flatnonzero(observed)
+    n_label = 2 * n_pairs
+    n_shared = len(shared_nodes)
+    n_private = 2 * len(obs_idx)
+    base_private = n_label + n_shared
+    member_row_f = np.empty(n_pairs, dtype=np.int64)
+    member_row_g = np.empty(n_pairs, dtype=np.int64)
+    member_row_f[unobs] = n_label + np.searchsorted(shared_nodes, f[unobs])
+    member_row_g[unobs] = n_label + np.searchsorted(shared_nodes, g[unobs])
+    member_row_f[obs_idx] = base_private + 2 * np.arange(len(obs_idx))
+    member_row_g[obs_idx] = base_private + 2 * np.arange(len(obs_idx)) + 1
+    private_starts = np.empty(n_private, dtype=np.int32)
+    private_starts[0::2] = f[obs_idx]
+    private_starts[1::2] = g[obs_idx]
+    private_excluded = np.empty(n_private, dtype=np.int32)
+    private_excluded[0::2] = g[obs_idx]
+    private_excluded[1::2] = f[obs_idx]
+
+    no_block = np.full(n_shared + n_private, -1, dtype=np.int32)
+    excluded = np.full(n_label + n_shared + n_private, -1, dtype=np.int32)
+    excluded[base_private:] = private_excluded
+    dist = _multi_source_bfs(
+        graph,
+        starts=np.concatenate((label_starts, shared_nodes, private_starts)),
+        blocked=np.concatenate((label_blocked, no_block)),
+        excluded=excluded,
+        n_long=n_label,
+        h=h,
+        workspace=workspace,
+    )
+
+    # Membership: nodes within h hops of either target.  flatnonzero walks
+    # the mask row-major, which yields each pair's members in ascending
+    # node order — f and g are spliced in front afterwards.
+    member_mask = (dist[member_row_f] >= 0) | (dist[member_row_g] >= 0)
+    member_mask[pair_ids, f] = False
+    member_mask[pair_ids, g] = False
+    other_flat = np.flatnonzero(member_mask.reshape(-1)).astype(np.int32)
+    other_pair = other_flat // n
+    other_node = other_flat % n
+    other_counts = np.bincount(other_pair, minlength=n_pairs)
+    sizes = other_counts + 2
+    starts = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+    total = int(sizes.sum())
+
+    members = np.empty(total, dtype=np.int32)
+    members[starts] = f
+    members[starts + 1] = g
+    offsets = (np.cumsum(other_counts) - other_counts).astype(np.int32)
+    within = np.arange(len(other_node), dtype=np.int32) - np.repeat(
+        offsets, other_counts
+    )
+    members[np.repeat(starts + 2, other_counts) + within] = other_node
+    member_pair = np.repeat(
+        np.arange(n_pairs, dtype=np.int32), sizes
+    )
+
+    labels = drnl_label_array(
+        dist[2 * member_pair, members],
+        dist[2 * member_pair + 1, members],
+    )
+
+    # Induced edges: map members to local indices through a per-pair lookup
+    # table, gather every member's CSR row once, keep in-subgraph
+    # endpoints, emit each undirected edge once (local u < v), and drop the
+    # target link itself.
+    local = workspace.local
+    member_flat = member_pair * n + members
+    local_ids = np.arange(total, dtype=np.int32) - np.repeat(
+        starts.astype(np.int32), sizes
+    )
+    local[member_flat] = local_ids
+    nbr_counts, nbrs = _gather_rows(graph.indptr, graph.indices, members)
+    edge_pair = np.repeat(member_pair, nbr_counts)
+    local_u = np.repeat(local_ids, nbr_counts)
+    local_v = local[edge_pair * n + nbrs]
+    # Keep in-subgraph endpoints once each (local u < v) and drop the
+    # target link itself — by construction it is exactly local (0, 1).
+    keep = (local_v >= 0) & (local_u < local_v)
+    keep &= (local_u != 0) | (local_v != 1)
+    edge_rows = np.column_stack((local_u[keep], local_v[keep]))
+    edge_counts = np.bincount(edge_pair[keep], minlength=n_pairs)
+    local[member_flat] = -1  # reset only the touched cells for the next chunk
+
+    gate_ids = graph.gate_feature_ids[members]
+    degrees = workspace.degrees[members]
+    node_bounds = np.concatenate(([0], np.cumsum(sizes)))
+    edge_bounds = np.concatenate(([0], np.cumsum(edge_counts)))
+    return [
+        EnclosingSubgraph(
+            nodes=members[node_bounds[p] : node_bounds[p + 1]],
+            edges=edge_rows[edge_bounds[p] : edge_bounds[p + 1]],
+            labels=labels[node_bounds[p] : node_bounds[p + 1]],
+            gate_type_ids=gate_ids[node_bounds[p] : node_bounds[p + 1]],
+            degrees=degrees[node_bounds[p] : node_bounds[p + 1]],
+        )
+        for p in range(n_pairs)
+    ]
+
+
+def extract_enclosing_subgraphs(
+    graph: AttackGraph,
+    pairs: Sequence[tuple[int, int]],
+    h: int,
+) -> list[EnclosingSubgraph]:
+    """Extract the h-hop enclosing subgraphs of many target pairs.
+
+    The (possibly observed) direct edge ``f–g`` of each pair is never part
+    of its subgraph — the GNN must judge the link from the surroundings
+    alone.  Pairs are processed in memory-bounded chunks; within a chunk
+    all BFS traversals are deduplicated and expanded together, so pairs
+    sharing an endpoint (the two candidates of a key MUX share the same
+    ``load``) never recompute a distance map.
+
+    Returns:
+        One :class:`EnclosingSubgraph` per pair, in input order — each
+        identical to what :func:`extract_enclosing_subgraph` yields for
+        that pair alone.
+    """
+    pairs = list(pairs)
+    if h < 1:
+        raise ValueError("h must be >= 1")
+    for u, v in pairs:
+        if u == v:
+            raise ValueError("target nodes must differ")
+    if not pairs:
+        return []
+    chunk_size = max(4, _CHUNK_CELLS // max(graph.n_nodes, 1))
+    workspace = _Workspace(graph, min(chunk_size, len(pairs)))
+    out: list[EnclosingSubgraph] = []
+    for start in range(0, len(pairs), chunk_size):
+        chunk = np.array(pairs[start : start + chunk_size], dtype=np.int64)
+        out.extend(
+            _extract_chunk(graph, chunk[:, 0], chunk[:, 1], h, workspace)
+        )
+    return out
 
 
 def extract_enclosing_subgraph(
@@ -98,62 +434,7 @@ def extract_enclosing_subgraph(
 ) -> EnclosingSubgraph:
     """Extract the h-hop enclosing subgraph around target pair ``(f, g)``.
 
-    The (possibly observed) direct edge ``f–g`` is never part of the
-    subgraph — the GNN must judge the link from the surroundings alone.
+    Single-pair entry point of :func:`extract_enclosing_subgraphs`; both
+    produce identical subgraphs by construction.
     """
-    if f == g:
-        raise ValueError("target nodes must differ")
-    if h < 1:
-        raise ValueError("h must be >= 1")
-    edge = (f, g)
-    dist_f = _bounded_bfs(graph, f, h, forbidden_edge=edge)
-    dist_g = _bounded_bfs(graph, g, h, forbidden_edge=edge)
-
-    members = [f, g] + sorted(
-        (set(dist_f) | set(dist_g)) - {f, g}
-    )
-    local = {node: i for i, node in enumerate(members)}
-
-    # SEAL labelling distances: to f with g removed, to g with f removed.
-    label_dist_f = _bounded_bfs(graph, f, 2 * h, blocked=g, forbidden_edge=edge)
-    label_dist_g = _bounded_bfs(graph, g, 2 * h, blocked=f, forbidden_edge=edge)
-
-    labels = np.array(
-        [
-            drnl_label(label_dist_f.get(node), label_dist_g.get(node))
-            for node in members
-        ],
-        dtype=np.int64,
-    )
-
-    member_set = set(members)
-    edges: list[tuple[int, int]] = []
-    for node in members:
-        u = local[node]
-        for nbr in graph.neighbors[node]:
-            if nbr in member_set:
-                v = local[nbr]
-                if u < v and {node, nbr} != set(edge):
-                    edges.append((u, v))
-    edge_array = (
-        np.array(edges, dtype=np.int64)
-        if edges
-        else np.empty((0, 2), dtype=np.int64)
-    )
-
-    from repro.netlist import gate_feature_index
-
-    gate_type_ids = np.array(
-        [gate_feature_index(graph.gate_types[node]) for node in members],
-        dtype=np.int64,
-    )
-    degrees = np.array(
-        [len(graph.neighbors[node]) for node in members], dtype=np.int64
-    )
-    return EnclosingSubgraph(
-        nodes=np.array(members, dtype=np.int64),
-        edges=edge_array,
-        labels=labels,
-        gate_type_ids=gate_type_ids,
-        degrees=degrees,
-    )
+    return extract_enclosing_subgraphs(graph, [(f, g)], h)[0]

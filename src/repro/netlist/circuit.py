@@ -83,6 +83,7 @@ class Circuit:
         self._gates: dict[str, Gate] = {}
         self._fanouts: dict[str, list[str]] | None = None
         self._topo: list[str] | None = None
+        self._output_counts: dict[str, int] | None = None
         for pi in inputs or []:
             self.add_input(pi)
         for gate in gates or []:
@@ -126,7 +127,7 @@ class Circuit:
         return net in self._input_set
 
     def is_output(self, net: str) -> bool:
-        return net in set(self._outputs)
+        return net in self._output_count_map()
 
     def has_net(self, net: str) -> bool:
         return net in self._input_set or net in self._gates
@@ -151,6 +152,21 @@ class Circuit:
     def _invalidate(self) -> None:
         self._fanouts = None
         self._topo = None
+        self._output_counts = None
+
+    def _output_count_map(self) -> dict[str, int]:
+        """Cached multiset of primary-output references (net -> count).
+
+        Rebuilt lazily after any mutation, like ``_fanouts``/``_topo``, so
+        :meth:`is_output` and :meth:`fanout_size` stay O(1) instead of
+        scanning ``_outputs`` on every call.
+        """
+        if self._output_counts is None:
+            counts: dict[str, int] = {}
+            for po in self._outputs:
+                counts[po] = counts.get(po, 0) + 1
+            self._output_counts = counts
+        return self._output_counts
 
     def add_input(self, name: str) -> None:
         """Declare a new primary input."""
@@ -166,7 +182,7 @@ class Circuit:
         """Remove an unused primary input (no loads, not an output)."""
         if name not in self._input_set:
             raise NetlistError(f"{name!r} is not a primary input")
-        if self.fanout(name) or name in set(self._outputs):
+        if self.fanout(name) or name in self._output_count_map():
             raise NetlistError(f"primary input {name!r} is still in use")
         self._inputs.remove(name)
         self._input_set.discard(name)
@@ -177,6 +193,7 @@ class Circuit:
         if not self.has_net(name):
             raise NetlistError(f"primary output {name!r} is not driven")
         self._outputs.append(name)
+        self._output_counts = None
 
     def add_gate(self, gate: Gate) -> None:
         """Add a gate; its fan-in nets must already exist."""
@@ -206,7 +223,7 @@ class Circuit:
             raise NetlistError(
                 f"cannot remove {name!r}: still feeds {sorted(loads)!r}"
             )
-        if name in set(self._outputs):
+        if name in self._output_count_map():
             raise NetlistError(f"cannot remove {name!r}: is a primary output")
         del self._gates[name]
         self._invalidate()
@@ -261,6 +278,7 @@ class Circuit:
         if not self.has_net(new_net):
             raise NetlistError(f"net {new_net!r} is not driven")
         self._outputs = [new_net if po == old_net else po for po in self._outputs]
+        self._output_counts = None
 
     def fresh_name(self, prefix: str) -> str:
         """Return a net name starting with *prefix* not used in the circuit."""
@@ -281,6 +299,7 @@ class Circuit:
         dup._gates = dict(self._gates)
         dup._fanouts = None
         dup._topo = None
+        dup._output_counts = None
         return dup
 
     def __deepcopy__(self, memo: dict) -> "Circuit":
@@ -308,7 +327,7 @@ class Circuit:
 
     def fanout_size(self, net: str) -> int:
         """Number of gate loads plus primary-output references of *net*."""
-        return len(self.fanout(net)) + self._outputs.count(net)
+        return len(self.fanout(net)) + self._output_count_map().get(net, 0)
 
     def is_multi_output(self, net: str) -> bool:
         """True if *net* drives more than one load (D-MUX terminology)."""
@@ -434,9 +453,9 @@ class Circuit:
         A non-empty result after hard-coding a key bit is exactly the
         circuit-reduction signal exploited by SAAM.
         """
-        out_set = set(self._outputs)
+        out_map = self._output_count_map()
         return tuple(
             net
             for net in self.nets
-            if not self._fanout_map()[net] and net not in out_set
+            if not self._fanout_map()[net] and net not in out_map
         )

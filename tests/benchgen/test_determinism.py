@@ -5,8 +5,11 @@ depends on the per-process hash seed — identical seeds then produced
 different circuits in different interpreter runs.
 """
 
+import pathlib
 import subprocess
 import sys
+
+import repro
 
 _SNIPPET = """
 from repro import load_benchmark, lock_dmux
@@ -17,13 +20,21 @@ print(sum(1 for _ in base.gates))
 print(base.gates[0].inputs)
 """
 
+# The deliberately minimal env drops PYTHONPATH, so the fresh interpreter
+# needs the package's own source root to import repro again.
+_SRC_ROOT = str(pathlib.Path(repro.__file__).resolve().parents[1])
+
 
 def _run_in_fresh_process(hash_seed: str) -> str:
     result = subprocess.run(
         [sys.executable, "-c", _SNIPPET],
         capture_output=True,
         text=True,
-        env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+        env={
+            "PYTHONHASHSEED": hash_seed,
+            "PATH": "/usr/bin:/bin",
+            "PYTHONPATH": _SRC_ROOT,
+        },
         check=False,
     )
     assert result.returncode == 0, result.stderr
