@@ -35,13 +35,31 @@ def main() -> None:
     # are extracted through the batched CSR pipeline; set ``n_workers=4``
     # to stream extraction through a multiprocessing pool on big designs
     # (the dataset is bit-identical for any worker count).
+    #
+    # Training runs on the cached-batch engine (repro.linkpred.Trainer):
+    # every normalized operator and feature block is built once per split,
+    # epochs then reshuffle and stitch batches from the cache.  The numeric
+    # runtime is float32 by default — export REPRO_DTYPE=float64 (or call
+    # repro.nn.set_default_dtype) for the well-conditioned float64 mode
+    # used by gradient checks.  The TrainConfig below opts into early
+    # stopping; ``checkpoint_path=...`` / ``resume=True`` would persist
+    # the full training state (weights + Adam moments + RNG streams) and
+    # continue an interrupted run bit-identically.
     config = MuxLinkConfig(
         h=3,
         threshold=0.01,
-        train=TrainConfig(epochs=25, learning_rate=1e-3, seed=0),
+        train=TrainConfig(
+            epochs=25,
+            learning_rate=1e-3,
+            seed=0,
+            patience=10,       # stop early if validation stalls
+            log_every=5,       # progress line every 5 epochs
+        ),
         n_workers=0,
     )
     result = run_muxlink(locked.circuit, config)
+    best = result.history.best_epoch
+    print(f"trained {result.history.epochs_run} epochs (best: {best})")
     print(f"predicted key: {result.predicted_key}")
     print(f"actual key:    {locked.key}")
 

@@ -30,7 +30,7 @@ from repro.core import (
     run_muxlink,
     score_key,
 )
-from repro.linkpred import TrainConfig
+from repro.linkpred import TrainConfig, Trainer
 from repro.locking import (
     LockedCircuit,
     apply_key,
@@ -64,6 +64,7 @@ __all__ = [
     "MuxLinkConfig",
     "MuxLinkResult",
     "TrainConfig",
+    "Trainer",
     "run_muxlink",
     "rescore_key",
     "KeyMetrics",

@@ -12,6 +12,10 @@ Usage examples::
 ``attack`` runs subgraph extraction through the batched CSR pipeline
 (:mod:`repro.linkpred.subgraph`); ``--workers N`` streams it through N
 ``multiprocessing`` workers — results are identical for any worker count.
+Training runs on the cached-batch float32 engine
+(:class:`repro.linkpred.Trainer`); ``--patience`` enables early stopping,
+``--checkpoint``/``--resume`` persist and restore the full training state,
+and ``--dtype float64`` (or ``REPRO_DTYPE``) restores the float64 runtime.
 """
 
 from __future__ import annotations
@@ -58,12 +62,37 @@ def _cmd_lock(args: argparse.Namespace) -> int:
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
+    if (args.resume or args.checkpoint_every) and not args.checkpoint:
+        print(
+            "error: --resume/--checkpoint-every require --checkpoint",
+            file=sys.stderr,
+        )
+        return 2
+    if (args.lr_decay != 1.0) != (args.lr_decay_every > 0):
+        print(
+            "error: --lr-decay and --lr-decay-every must be given together",
+            file=sys.stderr,
+        )
+        return 2
+    if args.dtype:
+        import repro.nn as nn
+
+        nn.set_default_dtype(args.dtype)
     circuit, key = load_bench(args.netlist)
     config = MuxLinkConfig(
         h=args.h,
         threshold=args.threshold,
         train=TrainConfig(
-            epochs=args.epochs, learning_rate=args.learning_rate, seed=args.seed
+            epochs=args.epochs,
+            learning_rate=args.learning_rate,
+            seed=args.seed,
+            patience=args.patience,
+            lr_decay=args.lr_decay,
+            lr_decay_every=args.lr_decay_every,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+            log_every=args.log_every,
         ),
         seed=args.seed,
         n_workers=args.workers,
@@ -153,6 +182,52 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="subgraph-extraction worker processes (0 = in-process)",
+    )
+    p.add_argument(
+        "--patience",
+        type=int,
+        default=None,
+        help="early-stop after N epochs without validation-loss improvement",
+    )
+    p.add_argument(
+        "--lr-decay",
+        type=float,
+        default=1.0,
+        help="multiply the learning rate by this factor on a schedule",
+    )
+    p.add_argument(
+        "--lr-decay-every",
+        type=int,
+        default=0,
+        help="apply --lr-decay every N epochs (0 = never)",
+    )
+    p.add_argument(
+        "--checkpoint",
+        default=None,
+        help="training checkpoint file (weights + optimizer + RNG state)",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help="save the checkpoint every N epochs (0 = only at the end)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume training from --checkpoint if the file exists",
+    )
+    p.add_argument(
+        "--log-every",
+        type=int,
+        default=0,
+        help="print training progress every N epochs (0 = silent)",
+    )
+    p.add_argument(
+        "--dtype",
+        choices=("float32", "float64"),
+        default=None,
+        help="numeric runtime (default float32; also via REPRO_DTYPE)",
     )
     p.set_defaults(func=_cmd_attack)
 

@@ -19,13 +19,13 @@ from repro.gnn import DGCNN
 from repro.linkpred import (
     AttackGraph,
     TrainConfig,
+    Trainer,
     TrainHistory,
     build_link_dataset,
     build_target_examples,
     extract_attack_graph,
     sample_links,
     score_examples,
-    train_link_predictor,
 )
 from repro.netlist import Circuit
 
@@ -117,7 +117,9 @@ def run_muxlink(
     runtime["sampling"] = time.perf_counter() - start
 
     start = time.perf_counter()
-    model, history = train_link_predictor(dataset, config.train)
+    # The Trainer owns batch caching, early stopping, LR scheduling and
+    # checkpoint/resume; all knobs arrive through ``config.train``.
+    model, history = Trainer(dataset, config.train).fit()
     runtime["training"] = time.perf_counter() - start
 
     start = time.perf_counter()

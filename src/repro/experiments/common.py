@@ -56,6 +56,9 @@ class ExperimentScale:
         h: enclosing-subgraph hops.
         threshold: post-processing ``th``.
         epochs / learning_rate: GNN training budget.
+        patience: early-stopping patience on validation loss forwarded to
+            :class:`repro.linkpred.TrainConfig` (``None`` = train the full
+            epoch budget, the paper's behaviour).
         hd_patterns: random patterns for Hamming-distance runs.
         n_workers: subgraph-extraction worker processes passed to
             :class:`MuxLinkConfig` (overridable via ``REPRO_WORKERS``).
@@ -72,6 +75,7 @@ class ExperimentScale:
     threshold: float = 0.01
     epochs: int = 15
     learning_rate: float = 1e-3
+    patience: int | None = None
     hd_patterns: int = 10_000
     n_workers: int = 0
 
@@ -92,7 +96,10 @@ class ExperimentScale:
             h=self.h,
             threshold=self.threshold,
             train=TrainConfig(
-                epochs=self.epochs, learning_rate=self.learning_rate, seed=seed
+                epochs=self.epochs,
+                learning_rate=self.learning_rate,
+                patience=self.patience,
+                seed=seed,
             ),
             seed=seed,
             n_workers=workers,

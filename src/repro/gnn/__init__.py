@@ -1,6 +1,8 @@
 """DGCNN graph classifier and graph batching."""
 
 from repro.gnn.batching import (
+    BatchAssembler,
+    BatchCache,
     GraphBatch,
     GraphExample,
     build_batch,
@@ -11,6 +13,8 @@ from repro.gnn.dgcnn import DGCNN, MIN_SORTPOOL_K, choose_sortpool_k
 __all__ = [
     "GraphExample",
     "GraphBatch",
+    "BatchCache",
+    "BatchAssembler",
     "build_batch",
     "normalized_adjacency",
     "DGCNN",

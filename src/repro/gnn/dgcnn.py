@@ -3,13 +3,19 @@
 The exact architecture of the paper (Sec. IV "GNN Topology"):
 
 * four graph-convolution layers with {32, 32, 32, 1} output channels and
-  ``tanh`` activations (Eq. 4),
+  ``tanh`` activations (Eq. 4), run through the fused
+  :func:`repro.nn.graph_conv` kernel,
 * concatenation ``H^{1:L}`` of all layer outputs per node,
-* SortPooling to the top-``k`` nodes ordered by the last (1-channel) layer,
+* SortPooling to the top-``k`` nodes ordered by the last (1-channel) layer
+  — vectorized as a single lexsort over ``(graph_id, -score)`` plus one
+  top-k scatter, instead of a per-graph argsort loop,
 * two 1-D convolution layers with {16, 32} output channels — the first has
   kernel/stride equal to the per-node feature width, the second kernel 5 —
   with a max-pool of size 2 in between, ReLU activations,
 * a 128-unit dense layer, dropout 0.5, and a 2-way softmax output.
+
+Inference (``predict_proba``) runs under :func:`repro.nn.no_grad`, so
+evaluation and scoring record no tape and keep no intermediates alive.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from repro.nn import (
     Tensor,
     concat,
     max_pool1d,
+    no_grad,
     softmax,
     softmax_cross_entropy,
 )
@@ -103,17 +110,27 @@ class DGCNN(Module):
     def _sortpool_indices(self, last_layer: np.ndarray, batch: GraphBatch) -> np.ndarray:
         """Per-graph top-k node rows ordered by the 1-channel layer value.
 
+        Fully vectorized: one stable lexsort over ``(graph_id, -score)``
+        groups every graph's nodes contiguously in descending-score order
+        (ties broken by original row, matching a per-graph stable argsort),
+        then a single masked scatter writes the top-k rows of every graph.
+
         Returns absolute row indices into the stacked node matrix, ``-1``
         where a graph has fewer than k nodes (zero padding).
         """
         scores = last_layer[:, -1]
-        indices = np.full((batch.n_graphs, self.k), -1, dtype=np.int64)
-        for g in range(batch.n_graphs):
-            lo, hi = batch.node_offsets[g], batch.node_offsets[g + 1]
-            order = np.argsort(-scores[lo:hi], kind="stable") + lo
-            take = min(self.k, hi - lo)
-            indices[g, :take] = order[:take]
-        return indices.reshape(-1)
+        graph_ids = batch.graph_ids
+        # lexsort is stable and sorts by the last key first: primary
+        # graph_id, secondary descending score, ties by original index.
+        order = np.lexsort((-scores, graph_ids))
+        # Sorted position j holds graph graph_ids[j] (grouping and group
+        # sizes are unchanged by the sort), at within-graph rank
+        # segment_positions[j].
+        within = batch.segment_positions
+        take = within < self.k
+        indices = np.full(batch.n_graphs * self.k, -1, dtype=np.int64)
+        indices[graph_ids[take] * self.k + within[take]] = order[take]
+        return indices
 
     def forward(self, batch: GraphBatch) -> Tensor:
         """Compute ``(n_graphs, 2)`` classification logits."""
@@ -125,7 +142,9 @@ class DGCNN(Module):
         h_cat = concat(layer_outputs, axis=1)  # (N, node_width)
 
         indices = self._sortpool_indices(layer_outputs[-1].data, batch)
-        pooled = h_cat.gather_rows(indices)  # (B*k, node_width)
+        # Sortpool indices never repeat a row, so the gradient scatter is a
+        # direct assignment.
+        pooled = h_cat.gather_rows(indices, unique=True)  # (B*k, node_width)
         pooled = pooled.reshape(batch.n_graphs, 1, self.k * self.node_width)
 
         z = self.conv1(pooled).relu()  # (B, c1, k)
@@ -145,11 +164,15 @@ class DGCNN(Module):
         return softmax_cross_entropy(self.forward(batch), batch.labels)
 
     def predict_proba(self, batch: GraphBatch) -> np.ndarray:
-        """Per-graph likelihood of class 1 ("link exists")."""
+        """Per-graph likelihood of class 1 ("link exists").
+
+        Runs in eval mode under ``no_grad``: no tape is recorded.
+        """
         was_training = self.training
         self.eval()
         try:
-            probs = softmax(self.forward(batch)).data
+            with no_grad():
+                probs = softmax(self.forward(batch)).data
         finally:
             if was_training:
                 self.train()

@@ -25,6 +25,7 @@ from repro.linkpred.subgraph import (
 )
 from repro.linkpred.trainer import (
     TrainConfig,
+    Trainer,
     TrainHistory,
     score_examples,
     train_link_predictor,
@@ -46,6 +47,7 @@ __all__ = [
     "build_link_dataset",
     "build_target_examples",
     "TrainConfig",
+    "Trainer",
     "TrainHistory",
     "train_link_predictor",
     "score_examples",

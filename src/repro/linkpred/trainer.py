@@ -1,22 +1,61 @@
-"""DGCNN training loop for link prediction (paper Sec. III-D / IV).
+"""DGCNN training engine for link prediction (paper Sec. III-D / IV).
 
 Follows the paper's recipe: Adam, 100 epochs, initial learning rate 1e-4,
 keep the parameters that perform best on the 10 % validation split.
 CI-scale experiments pass smaller epoch counts through the same interface.
+
+The engine is built for throughput:
+
+* **Cached batch components** — every example's normalized operator and
+  feature block is built exactly once per split
+  (:class:`~repro.gnn.BatchAssembler`); the per-epoch shuffle then
+  assembles batches by pure array stitching, so epochs 2..N run none of
+  the coo/dedup/degree scipy work.  The trajectory is bit-identical to
+  the seed per-epoch rebuild at equal dtype.  Validation and scoring
+  iterate fixed prebuilt batches (:class:`~repro.gnn.BatchCache`).
+* **float32 runtime** — see the dtype policy in :mod:`repro.nn`
+  (``REPRO_DTYPE=float64`` restores the well-conditioned mode).
+* **Resumable** — :class:`Trainer` checkpoints weights, optimizer moments
+  and both RNG streams, so an interrupted run resumes bit-identically.
+
+:func:`train_link_predictor` remains the thin compatibility wrapper over
+:class:`Trainer` that every existing caller uses.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+import pickle
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.errors import TrainingError
-from repro.gnn import DGCNN, GraphExample, build_batch, choose_sortpool_k
+from repro.gnn import (
+    BatchAssembler,
+    BatchCache,
+    DGCNN,
+    GraphBatch,
+    GraphExample,
+    build_batch,
+    choose_sortpool_k,
+)
 from repro.linkpred.dataset import LinkDataset
-from repro.nn import Adam
+from repro.nn import Adam, default_dtype
 
-__all__ = ["TrainConfig", "TrainHistory", "train_link_predictor", "score_examples"]
+__all__ = [
+    "TrainConfig",
+    "TrainHistory",
+    "Trainer",
+    "train_link_predictor",
+    "score_examples",
+]
+
+#: Paper batch size; also the fallback for :func:`score_examples` callers
+#: that do not thread a :class:`TrainConfig` through.
+DEFAULT_BATCH_SIZE = 50
 
 
 @dataclass(frozen=True)
@@ -25,48 +64,345 @@ class TrainConfig:
 
     Defaults are the paper's settings; ``epochs`` is the main knob CI-scale
     runs turn down.
+
+    Attributes:
+        epochs: maximum training epochs.
+        learning_rate: initial Adam learning rate.
+        batch_size: minibatch size (fixed cache partition).
+        sortpool_percentile: SortPooling k percentile (paper: 0.6).
+        seed: parameter / shuffle seed.
+        patience: early stopping — abort when the validation loss has not
+            improved for this many consecutive epochs (``None`` disables).
+        lr_decay: multiplicative LR decay factor.
+        lr_decay_every: apply ``lr_decay`` every this many epochs
+            (``0`` disables scheduling).
+        checkpoint_path: where :class:`Trainer` persists its state.
+        checkpoint_every: save a checkpoint every N epochs (``0`` = only
+            the final one; ignored without ``checkpoint_path``).
+        resume: resume from ``checkpoint_path`` when the file exists.
+        log_every: print a progress line every N epochs (``0`` = silent).
     """
 
     epochs: int = 100
     learning_rate: float = 1e-4
-    batch_size: int = 50
+    batch_size: int = DEFAULT_BATCH_SIZE
     sortpool_percentile: float = 0.6
     seed: int = 0
+    patience: int | None = None
+    lr_decay: float = 1.0
+    lr_decay_every: int = 0
+    checkpoint_path: str | None = None
+    checkpoint_every: int = 0
+    resume: bool = False
+    log_every: int = 0
 
 
 @dataclass
 class TrainHistory:
-    """Per-epoch train loss, validation loss and validation accuracy."""
+    """Per-epoch train loss, validation loss/accuracy and learning rate."""
 
     train_loss: list[float] = field(default_factory=list)
     val_loss: list[float] = field(default_factory=list)
     val_accuracy: list[float] = field(default_factory=list)
+    learning_rates: list[float] = field(default_factory=list)
     best_epoch: int = -1
     best_val_accuracy: float = 0.0
     best_val_loss: float = float("inf")
+    stopped_early: bool = False
+
+    @property
+    def epochs_run(self) -> int:
+        return len(self.train_loss)
+
+
+def _iter_batches(
+    examples: Sequence[GraphExample],
+    batch_size: int,
+    cache: BatchCache | None = None,
+) -> Iterator[GraphBatch]:
+    """Yield evaluation batches — prebuilt from *cache* when available.
+
+    This is the one chunked-batching loop shared by validation
+    (:func:`_evaluate`) and scoring (:func:`score_examples`).
+    """
+    if cache is not None:
+        yield from cache
+    else:
+        for start in range(0, len(examples), batch_size):
+            yield build_batch(examples[start : start + batch_size])
 
 
 def _evaluate(
-    model: DGCNN, examples: list[GraphExample], batch_size: int
+    model: DGCNN,
+    examples: Sequence[GraphExample],
+    batch_size: int,
+    cache: BatchCache | None = None,
 ) -> tuple[float, float]:
     """``(mean cross-entropy, accuracy)`` over *examples* in eval mode."""
-    if not examples:
+    n = cache.n_examples if cache is not None else len(examples)
+    if n == 0:
         return float("nan"), float("nan")
     correct = 0
     loss_sum = 0.0
-    for start in range(0, len(examples), batch_size):
-        chunk = examples[start : start + batch_size]
-        probs = model.predict_proba(build_batch(chunk))
-        labels = np.array([e.label for e in chunk])
+    for batch in _iter_batches(examples, batch_size, cache):
+        probs = model.predict_proba(batch)
+        labels = batch.labels
         predicted = (probs > 0.5).astype(int)
         correct += int((predicted == labels).sum())
         clipped = np.clip(np.where(labels == 1, probs, 1 - probs), 1e-12, 1.0)
         loss_sum += float(-np.log(clipped).sum())
-    return loss_sum / len(examples), correct / len(examples)
+    return loss_sum / n, correct / n
 
 
-def _accuracy(model: DGCNN, examples: list[GraphExample], batch_size: int) -> float:
-    return _evaluate(model, examples, batch_size)[1]
+def score_examples(
+    model: DGCNN,
+    examples: Sequence[GraphExample],
+    batch_size: int | None = None,
+) -> np.ndarray:
+    """Likelihood of "link exists" for each example (paper step 5).
+
+    ``batch_size`` defaults to :data:`DEFAULT_BATCH_SIZE`; callers with a
+    :class:`TrainConfig` should pass ``config.batch_size`` so scoring
+    chunks match the training configuration.
+    """
+    if not examples:
+        return np.empty(0)
+    if batch_size is None:
+        batch_size = DEFAULT_BATCH_SIZE
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    return np.concatenate(
+        [
+            model.predict_proba(batch)
+            for batch in _iter_batches(examples, batch_size)
+        ]
+    )
+
+
+_CHECKPOINT_VERSION = 1
+
+
+class Trainer:
+    """Stateful, resumable DGCNN training engine.
+
+    Usage::
+
+        trainer = Trainer(dataset, TrainConfig(epochs=100, patience=10))
+        model, history = trainer.fit()
+
+    ``fit`` may be called incrementally (``fit(until_epoch=…)``) and the
+    full state — weights, best-so-far weights, Adam moments, shuffle and
+    dropout RNG streams, history — round-trips through
+    :meth:`save_checkpoint` / :meth:`load_checkpoint`, so::
+
+        straight run  ==  run 5 epochs, checkpoint, reload, run the rest
+
+    holds bit for bit.
+    """
+
+    def __init__(self, dataset: LinkDataset, config: TrainConfig = TrainConfig()):
+        if not dataset.train:
+            raise TrainingError("empty training split")
+        self.dataset = dataset
+        self.config = config
+        k = choose_sortpool_k(
+            dataset.subgraph_sizes or [e.n_nodes for e in dataset.train],
+            percentile=config.sortpool_percentile,
+        )
+        self.model = DGCNN(
+            in_features=dataset.feature_width, k=k, seed=config.seed
+        )
+        self.optimizer = Adam(self.model.parameters(), lr=config.learning_rate)
+        self.rng = np.random.default_rng(config.seed)
+        self.history = TrainHistory()
+        self.epoch = 0
+        self._best_state = self.model.state_dict()
+        # The expensive part — built exactly once per split.
+        self.train_assembler = BatchAssembler(dataset.train)
+        self.val_cache = BatchCache(dataset.validation, config.batch_size)
+
+    # ------------------------------------------------------------- training
+    def fit(self, until_epoch: int | None = None) -> tuple[DGCNN, TrainHistory]:
+        """Train to ``config.epochs`` (or ``until_epoch``, if smaller).
+
+        On completion (epoch budget exhausted or early stopping) the
+        best-validation weights are restored and the model switched to
+        eval mode.  A partial ``fit`` leaves the live weights in place so
+        training can continue.
+        """
+        config = self.config
+        if (
+            self.epoch == 0
+            and config.resume
+            and config.checkpoint_path
+            and os.path.exists(config.checkpoint_path)
+        ):
+            self.load_checkpoint(config.checkpoint_path)
+        target = config.epochs if until_epoch is None else min(until_epoch, config.epochs)
+
+        while self.epoch < target and not self.history.stopped_early:
+            self._run_epoch()
+            if self._patience_exhausted():
+                self.history.stopped_early = True
+            if config.checkpoint_path and (
+                (config.checkpoint_every
+                 and self.epoch % config.checkpoint_every == 0)
+                or self.epoch >= config.epochs
+                or self.history.stopped_early
+            ):
+                self.save_checkpoint(config.checkpoint_path)
+
+        if self.epoch >= self.config.epochs or self.history.stopped_early:
+            self._finalize()
+        return self.model, self.history
+
+    def _run_epoch(self) -> None:
+        config = self.config
+        started = time.perf_counter()
+        self.history.learning_rates.append(self.optimizer.lr)
+        self.model.train()
+        epoch_loss = 0.0
+        n_batches = 0
+        order = self.rng.permutation(len(self.train_assembler))
+        for start in range(0, len(order), config.batch_size):
+            batch = self.train_assembler.assemble(
+                order[start : start + config.batch_size]
+            )
+            self.optimizer.zero_grad()
+            loss = self.model.loss(batch)
+            loss.backward()
+            self.optimizer.step()
+            epoch_loss += loss.item()
+            n_batches += 1
+        self.history.train_loss.append(epoch_loss / max(n_batches, 1))
+
+        val_loss, val_acc = _evaluate(
+            self.model, self.dataset.validation, config.batch_size,
+            cache=self.val_cache,
+        )
+        self.history.val_loss.append(val_loss)
+        self.history.val_accuracy.append(val_acc)
+        # Model selection on validation *loss*: with small validation sets
+        # the quantized accuracy makes early flukes win; cross-entropy is a
+        # smoother criterion.  With no validation split the final weights win.
+        if self.dataset.validation and val_loss <= self.history.best_val_loss:
+            self.history.best_val_loss = val_loss
+            self.history.best_val_accuracy = val_acc
+            self.history.best_epoch = self.epoch
+            self._best_state = self.model.state_dict()
+
+        self.epoch += 1
+        if config.lr_decay_every and self.epoch % config.lr_decay_every == 0:
+            self.optimizer.lr *= config.lr_decay
+        if config.log_every and (
+            self.epoch % config.log_every == 0 or self.epoch == config.epochs
+        ):
+            seconds = time.perf_counter() - started
+            print(
+                f"[trainer] epoch {self.epoch:>4}/{config.epochs}"
+                f"  train {self.history.train_loss[-1]:.4f}"
+                f"  val {val_loss:.4f}  acc {val_acc:.3f}"
+                f"  lr {self.history.learning_rates[-1]:.2e}"
+                f"  ({seconds:.2f}s)"
+            )
+
+    def _patience_exhausted(self) -> bool:
+        patience = self.config.patience
+        if patience is None or patience <= 0 or not self.dataset.validation:
+            return False
+        if self.history.best_epoch < 0:
+            return False
+        return (self.epoch - 1) - self.history.best_epoch >= patience
+
+    def _finalize(self) -> None:
+        if self.dataset.validation and self.history.best_epoch >= 0:
+            self.model.load_state_dict(self._best_state)
+        self.model.eval()
+
+    # ---------------------------------------------------------- persistence
+    def save_checkpoint(self, path: str) -> None:
+        """Persist the full training state (atomic rename)."""
+        payload = {
+            "version": _CHECKPOINT_VERSION,
+            "epoch": self.epoch,
+            "model_state": self.model.state_dict(),
+            "best_state": [a.copy() for a in self._best_state],
+            "optimizer_state": self.optimizer.state_dict(),
+            "lr": self.optimizer.lr,
+            "shuffle_rng_state": self.rng.bit_generator.state,
+            "dropout_rng_state": self.model.dropout.rng.bit_generator.state,
+            "history": asdict(self.history),
+            "config": {
+                "seed": self.config.seed,
+                "batch_size": self.config.batch_size,
+                "epochs": self.config.epochs,
+                "dtype": str(default_dtype()),
+                # Dataset/model identity: resuming against a checkpoint
+                # from a different netlist must fail even when parameter
+                # shapes happen to line up.
+                "feature_width": self.dataset.feature_width,
+                "k": self.model.k,
+                "n_train": len(self.dataset.train),
+                "n_validation": len(self.dataset.validation),
+            },
+        }
+        tmp = f"{path}.tmp"
+        with open(tmp, "wb") as handle:
+            pickle.dump(payload, handle)
+        os.replace(tmp, path)
+
+    def load_checkpoint(self, path: str) -> None:
+        """Restore a :meth:`save_checkpoint` state into this trainer."""
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        if payload.get("version") != _CHECKPOINT_VERSION:
+            raise TrainingError(
+                f"unsupported checkpoint version {payload.get('version')!r}"
+            )
+        saved = payload["config"]
+        if (
+            saved["seed"] != self.config.seed
+            or saved["batch_size"] != self.config.batch_size
+        ):
+            raise TrainingError(
+                "checkpoint was written with a different seed/batch_size "
+                f"({saved}) than this trainer's config"
+            )
+        if saved["dtype"] != str(default_dtype()):
+            raise TrainingError(
+                f"checkpoint was written under the {saved['dtype']} runtime "
+                f"but the current runtime is {default_dtype()}; resuming "
+                "across dtypes breaks bit-identical continuation "
+                "(set REPRO_DTYPE / --dtype to match)"
+            )
+        current = {
+            "feature_width": self.dataset.feature_width,
+            "k": self.model.k,
+            "n_train": len(self.dataset.train),
+            "n_validation": len(self.dataset.validation),
+        }
+        mismatched = {
+            key: (saved[key], value)
+            for key, value in current.items()
+            if saved[key] != value
+        }
+        if mismatched:
+            raise TrainingError(
+                "checkpoint belongs to a different dataset/model "
+                f"(saved vs current: {mismatched})"
+            )
+        self.epoch = int(payload["epoch"])
+        self.model.load_state_dict(payload["model_state"])
+        self._best_state = [a.copy() for a in payload["best_state"]]
+        self.optimizer.load_state_dict(payload["optimizer_state"])
+        self.optimizer.lr = float(payload["lr"])
+        self.rng.bit_generator.state = payload["shuffle_rng_state"]
+        self.model.dropout.rng.bit_generator.state = payload["dropout_rng_state"]
+        self.history = TrainHistory(**payload["history"])
+        # Re-derive the early-stop gate under *this* trainer's config: a
+        # checkpoint written by an early-stopped run must resume training
+        # when the patience budget has been raised or disabled.
+        self.history.stopped_early = self._patience_exhausted()
 
 
 def train_link_predictor(
@@ -74,64 +410,11 @@ def train_link_predictor(
 ) -> tuple[DGCNN, TrainHistory]:
     """Train a DGCNN on *dataset*, restoring the best-validation weights.
 
+    Thin compatibility wrapper over :class:`Trainer` (which adds early
+    stopping, LR scheduling and checkpoint/resume — all reachable through
+    the :class:`TrainConfig` fields).
+
     Returns:
         ``(model, history)``; the model is in eval mode.
     """
-    if not dataset.train:
-        raise TrainingError("empty training split")
-    k = choose_sortpool_k(
-        dataset.subgraph_sizes or [e.n_nodes for e in dataset.train],
-        percentile=config.sortpool_percentile,
-    )
-    model = DGCNN(in_features=dataset.feature_width, k=k, seed=config.seed)
-    optimizer = Adam(model.parameters(), lr=config.learning_rate)
-    rng = np.random.default_rng(config.seed)
-
-    history = TrainHistory()
-    best_state = model.state_dict()
-    examples = list(dataset.train)
-    for epoch in range(config.epochs):
-        model.train()
-        order = rng.permutation(len(examples))
-        epoch_loss = 0.0
-        n_batches = 0
-        for start in range(0, len(examples), config.batch_size):
-            chunk = [examples[i] for i in order[start : start + config.batch_size]]
-            batch = build_batch(chunk)
-            optimizer.zero_grad()
-            loss = model.loss(batch)
-            loss.backward()
-            optimizer.step()
-            epoch_loss += loss.item()
-            n_batches += 1
-        history.train_loss.append(epoch_loss / max(n_batches, 1))
-
-        val_loss, val_acc = _evaluate(model, dataset.validation, config.batch_size)
-        history.val_loss.append(val_loss)
-        history.val_accuracy.append(val_acc)
-        # Model selection on validation *loss*: with small validation sets
-        # the quantized accuracy makes early flukes win; cross-entropy is a
-        # smoother criterion.  With no validation split the final weights win.
-        if dataset.validation and val_loss <= history.best_val_loss:
-            history.best_val_loss = val_loss
-            history.best_val_accuracy = val_acc
-            history.best_epoch = epoch
-            best_state = model.state_dict()
-
-    if dataset.validation and history.best_epoch >= 0:
-        model.load_state_dict(best_state)
-    model.eval()
-    return model, history
-
-
-def score_examples(
-    model: DGCNN, examples: list[GraphExample], batch_size: int = 50
-) -> np.ndarray:
-    """Likelihood of "link exists" for each example (paper step 5)."""
-    if not examples:
-        return np.empty(0)
-    scores: list[np.ndarray] = []
-    for start in range(0, len(examples), batch_size):
-        chunk = examples[start : start + batch_size]
-        scores.append(model.predict_proba(build_batch(chunk)))
-    return np.concatenate(scores)
+    return Trainer(dataset, config).fit()

@@ -1,27 +1,44 @@
 """Neural-net operations beyond basic tensor arithmetic.
 
-These are the pieces the DGCNN head needs: 1-D convolution, max-pooling,
-dropout and the softmax cross-entropy loss.  Each is an autograd node with
-an exact gradient.
+These are the pieces the DGCNN needs: 1-D convolution, max-pooling,
+dropout, the fused graph-convolution kernel, segment/gather primitives for
+per-graph reductions over stacked node matrices, and the softmax
+cross-entropy loss.  Each is an autograd node with an exact gradient.
+
+All ops compute in the dtype of their inputs (see the dtype policy in
+:mod:`repro.nn.tensor`); scratch buffers can be recycled across training
+steps through a :class:`repro.nn.tensor.Workspace`.
 """
 
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
 
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, Workspace, is_grad_enabled
 
 __all__ = [
     "conv1d",
     "max_pool1d",
     "dropout",
+    "graph_conv",
+    "gather_rows",
+    "segment_sum",
+    "segment_mean",
+    "segment_max",
     "log_softmax",
     "softmax_cross_entropy",
     "softmax",
 ]
 
 
-def conv1d(x: Tensor, weight: Tensor, bias: Tensor, stride: int = 1) -> Tensor:
+def conv1d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor,
+    stride: int = 1,
+    workspace: Workspace | None = None,
+) -> Tensor:
     """1-D convolution.
 
     Args:
@@ -29,6 +46,11 @@ def conv1d(x: Tensor, weight: Tensor, bias: Tensor, stride: int = 1) -> Tensor:
         weight: kernel of shape ``(c_out, c_in, k)``.
         bias: per-channel bias of shape ``(c_out,)``.
         stride: kernel stride.
+        workspace: optional buffer pool for the im2col matrix — the
+            largest allocation of the op.  The buffer is released back to
+            the pool by the backward pass (or immediately when the tape is
+            not recording), so one buffer serves every step of a training
+            loop.
 
     Returns:
         Tensor of shape ``(batch, c_out, (length - k) // stride + 1)``.
@@ -44,29 +66,68 @@ def conv1d(x: Tensor, weight: Tensor, bias: Tensor, stride: int = 1) -> Tensor:
         )
 
     # im2col: (batch, c_in * k, t_out)
-    cols = np.empty((batch, c_in * k, t_out), dtype=np.float64)
-    for tap in range(k):
-        segment = x.data[:, :, tap : tap + stride * t_out : stride]
-        cols[:, tap * c_in : (tap + 1) * c_in, :] = segment
+    dtype = x.data.dtype
+    if workspace is not None:
+        cols = workspace.acquire((batch, c_in * k, t_out), dtype)
+    else:
+        cols = np.empty((batch, c_in * k, t_out), dtype=dtype)
+    if stride == k:
+        # Non-overlapping taps (the DGCNN's first conv, where k is the
+        # whole node width): im2col is a single transpose instead of a
+        # k-iteration strided-copy loop.
+        windows = x.data[:, :, : t_out * k].reshape(batch, c_in, t_out, k)
+        cols.reshape(batch, k, c_in, t_out)[...] = windows.transpose(0, 3, 1, 2)
+    else:
+        for tap in range(k):
+            segment = x.data[:, :, tap : tap + stride * t_out : stride]
+            cols[:, tap * c_in : (tap + 1) * c_in, :] = segment
     w2 = weight.data.transpose(0, 2, 1).reshape(c_out, k * c_in)
-    out = np.einsum("of,bft->bot", w2, cols) + bias.data[None, :, None]
+    # Batched GEMM (BLAS) rather than einsum: (c_out, F) @ (batch, F, t_out).
+    out = np.matmul(w2, cols)
+    out += bias.data[None, :, None]
+
+    recording = is_grad_enabled() and (
+        x.requires_grad or weight.requires_grad or bias.requires_grad
+    )
+    if not recording:
+        if workspace is not None:
+            workspace.release(cols)
+
+        def backward(grad: np.ndarray) -> None:  # pragma: no cover - no tape
+            pass
+
+        return Tensor._make(out, (x, weight, bias), backward)
+
+    released = False
 
     def backward(grad: np.ndarray) -> None:
         # grad: (batch, c_out, t_out)
+        nonlocal released
         if bias.requires_grad:
             bias._accumulate(grad.sum(axis=(0, 2)))
         if weight.requires_grad:
-            gw2 = np.einsum("bot,bft->of", grad, cols)
+            gw2 = np.tensordot(grad, cols, axes=([0, 2], [0, 2]))
             weight._accumulate(
                 gw2.reshape(c_out, k, c_in).transpose(0, 2, 1)
             )
         if x.requires_grad:
-            gcols = np.einsum("of,bot->bft", w2, grad)
+            gcols = np.matmul(w2.T, grad)
             gx = np.zeros_like(x.data)
-            for tap in range(k):
-                seg = gcols[:, tap * c_in : (tap + 1) * c_in, :]
-                gx[:, :, tap : tap + stride * t_out : stride] += seg
-            x._accumulate(gx)
+            if stride == k:
+                # Inverse of the transpose fast path above: one scatter.
+                gx[:, :, : t_out * k] = (
+                    gcols.reshape(batch, k, c_in, t_out)
+                    .transpose(0, 2, 3, 1)
+                    .reshape(batch, c_in, t_out * k)
+                )
+            else:
+                for tap in range(k):
+                    seg = gcols[:, tap * c_in : (tap + 1) * c_in, :]
+                    gx[:, :, tap : tap + stride * t_out : stride] += seg
+            x._accumulate_owned(gx)
+        if workspace is not None and not released:
+            released = True
+            workspace.release(cols)
 
     return Tensor._make(out, (x, weight, bias), backward)
 
@@ -79,21 +140,34 @@ def max_pool1d(x: Tensor, size: int, stride: int | None = None) -> Tensor:
     if t_out < 1:
         raise ValueError(f"pool size {size} does not fit length {length}")
 
-    windows = np.empty((batch, channels, t_out, size), dtype=np.float64)
+    windows = np.empty((batch, channels, t_out, size), dtype=x.data.dtype)
     for tap in range(size):
         windows[:, :, :, tap] = x.data[:, :, tap : tap + stride * t_out : stride]
     arg = windows.argmax(axis=3)
     out = np.take_along_axis(windows, arg[..., None], axis=3)[..., 0]
 
     def backward(grad: np.ndarray) -> None:
-        gx = np.zeros_like(x.data)
-        b_idx, c_idx, t_idx = np.meshgrid(
-            np.arange(batch), np.arange(channels), np.arange(t_out),
-            indexing="ij",
-        )
-        source = t_idx * stride + arg
-        np.add.at(gx, (b_idx, c_idx, source), grad)
-        x._accumulate(gx)
+        # Always C-ordered (zeros_like would inherit an F-ordered layout,
+        # breaking the flat-index scatter below).
+        gx = np.zeros(x.data.shape, dtype=x.data.dtype)
+        if stride >= size:
+            # Non-overlapping windows (the DGCNN case): every input
+            # position feeds at most one window, so the scatter is a
+            # direct flat-index assignment — no ufunc.at.
+            offsets = (
+                np.arange(batch)[:, None, None] * channels
+                + np.arange(channels)[None, :, None]
+            ) * length
+            flat = offsets + np.arange(t_out)[None, None, :] * stride + arg
+            gx.reshape(-1)[flat.reshape(-1)] = grad.reshape(-1)
+        else:
+            b_idx, c_idx, t_idx = np.meshgrid(
+                np.arange(batch), np.arange(channels), np.arange(t_out),
+                indexing="ij",
+            )
+            source = t_idx * stride + arg
+            np.add.at(gx, (b_idx, c_idx, source), grad)
+        x._accumulate_owned(gx)
 
     return Tensor._make(out, (x,), backward)
 
@@ -101,17 +175,127 @@ def max_pool1d(x: Tensor, size: int, stride: int | None = None) -> Tensor:
 def dropout(
     x: Tensor, rate: float, rng: np.random.Generator, training: bool = True
 ) -> Tensor:
-    """Inverted dropout: scales kept activations by ``1 / (1 - rate)``."""
+    """Inverted dropout: scales kept activations by ``1 / (1 - rate)``.
+
+    The mask is drawn in float64 (so a given RNG state yields the same
+    draw sequence regardless of runtime dtype) and cast to the input's
+    dtype before use.
+    """
     if not 0.0 <= rate < 1.0:
         raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
     if not training or rate == 0.0:
         return x
-    mask = (rng.random(x.shape) >= rate) / (1.0 - rate)
+    mask = ((rng.random(x.shape) >= rate) / (1.0 - rate)).astype(
+        x.data.dtype, copy=False
+    )
 
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad * mask)
 
     return Tensor._make(x.data * mask, (x,), backward)
+
+
+def graph_conv(norm_adj: sp.spmatrix, h: Tensor, weight: Tensor) -> Tensor:
+    """Fused DGCNN graph convolution ``tanh( A (H W) )`` (paper Eq. 4).
+
+    One autograd node instead of three (matmul → spmm → tanh): the tanh is
+    applied in place on the sparse-product output, the ``H W`` intermediate
+    is not retained, and the backward pass shares the ``A^T g`` product
+    between both parents' gradients.  Bit-identical to the unfused
+    composition — the same three numpy/scipy kernels run in the same order.
+    """
+    matrix = norm_adj.tocsr()
+    out = matrix @ (h.data @ weight.data)
+    np.tanh(out, out=out)
+
+    def backward(grad: np.ndarray) -> None:
+        # d tanh: g' = grad * (1 - out^2); then dH = (A^T g') W^T and
+        # dW = H^T (A^T g').  One scratch array serves the whole chain.
+        gt = np.multiply(out, out)
+        np.subtract(1.0, gt, out=gt)
+        np.multiply(grad, gt, out=gt)
+        ga = matrix.T @ gt
+        if weight.requires_grad:
+            weight._accumulate(h.data.T @ ga)
+        if h.requires_grad:
+            h._accumulate_owned(ga @ weight.data.T)
+
+    return Tensor._make(out, (h, weight), backward)
+
+
+def gather_rows(x: Tensor, indices: np.ndarray, unique: bool = False) -> Tensor:
+    """Row gather with ``-1`` → zero-row padding (see ``Tensor.gather_rows``)."""
+    return x.gather_rows(indices, unique=unique)
+
+
+def _check_segment_args(
+    x: Tensor, segment_ids: np.ndarray, n_segments: int
+) -> np.ndarray:
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if segment_ids.shape != (x.shape[0],):
+        raise ValueError(
+            f"segment_ids shape {segment_ids.shape} does not match "
+            f"{x.shape[0]} rows"
+        )
+    if segment_ids.size and (
+        segment_ids.min() < 0 or segment_ids.max() >= n_segments
+    ):
+        raise ValueError("segment id out of range")
+    return segment_ids
+
+
+def segment_sum(x: Tensor, segment_ids: np.ndarray, n_segments: int) -> Tensor:
+    """Sum rows of *x* into ``n_segments`` buckets given per-row ids.
+
+    Gradient: each input row receives its segment's gradient.
+    """
+    segment_ids = _check_segment_args(x, segment_ids, n_segments)
+    data = np.zeros((n_segments,) + x.shape[1:], dtype=x.data.dtype)
+    np.add.at(data, segment_ids, x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad[segment_ids])
+
+    return Tensor._make(data, (x,), backward)
+
+
+def segment_mean(x: Tensor, segment_ids: np.ndarray, n_segments: int) -> Tensor:
+    """Mean of rows per segment; empty segments yield zero rows."""
+    segment_ids = _check_segment_args(x, segment_ids, n_segments)
+    counts = np.bincount(segment_ids, minlength=n_segments).astype(x.data.dtype)
+    safe = np.maximum(counts, 1.0)
+    data = np.zeros((n_segments,) + x.shape[1:], dtype=x.data.dtype)
+    np.add.at(data, segment_ids, x.data)
+    data /= safe.reshape((-1,) + (1,) * (x.ndim - 1))
+
+    def backward(grad: np.ndarray) -> None:
+        scale = (1.0 / safe[segment_ids]).reshape((-1,) + (1,) * (x.ndim - 1))
+        x._accumulate(grad[segment_ids] * scale)
+
+    return Tensor._make(data, (x,), backward)
+
+
+def segment_max(x: Tensor, segment_ids: np.ndarray, n_segments: int) -> Tensor:
+    """Per-segment maximum of rows; empty segments yield zero rows.
+
+    Gradient routes to every row attaining its segment's maximum (ties
+    each receive the full gradient, matching the summed-subgradient
+    convention of ``Tensor.relu``).
+    """
+    segment_ids = _check_segment_args(x, segment_ids, n_segments)
+    data = np.full(
+        (n_segments,) + x.shape[1:], -np.inf, dtype=x.data.dtype
+    )
+    np.maximum.at(data, segment_ids, x.data)
+    empty = np.bincount(segment_ids, minlength=n_segments) == 0
+    if empty.any():
+        data[empty] = 0.0
+
+    def backward(grad: np.ndarray) -> None:
+        mask = x.data == data[segment_ids]
+        x._accumulate(grad[segment_ids] * mask)
+
+    return Tensor._make(data, (x,), backward)
 
 
 def _log_softmax_data(logits: np.ndarray) -> np.ndarray:

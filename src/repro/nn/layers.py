@@ -1,12 +1,18 @@
-"""Layer / module abstractions over the autograd tensors."""
+"""Layer / module abstractions over the autograd tensors.
+
+Parameters are created in the runtime default dtype (float32 unless
+``REPRO_DTYPE``/:func:`repro.nn.set_default_dtype` says otherwise);
+``load_state_dict`` casts incoming arrays to each parameter's dtype so
+checkpoints round-trip across dtype modes.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import scipy.sparse as sp
 
-from repro.nn.functional import conv1d, dropout
-from repro.nn.tensor import Tensor, spmm
+from repro.nn.functional import conv1d, dropout, graph_conv
+from repro.nn.tensor import Tensor, Workspace
 
 __all__ = ["Module", "Linear", "Conv1d", "Dropout", "GraphConv"]
 
@@ -64,7 +70,7 @@ class Module:
                 raise ValueError(
                     f"shape mismatch {param.data.shape} vs {data.shape}"
                 )
-            param.data = data.copy()
+            param.data = np.asarray(data, dtype=param.data.dtype).copy()
 
 
 def _glorot(rng: np.random.Generator, *shape: int) -> np.ndarray:
@@ -87,7 +93,11 @@ class Linear(Module):
 
 
 class Conv1d(Module):
-    """1-D convolution layer over ``(batch, c_in, length)`` inputs."""
+    """1-D convolution layer over ``(batch, c_in, length)`` inputs.
+
+    Keeps a private :class:`Workspace` so the im2col scratch buffer is
+    recycled across training steps instead of reallocated per batch.
+    """
 
     def __init__(
         self,
@@ -104,9 +114,13 @@ class Conv1d(Module):
         )
         self.bias = Tensor(np.zeros(out_channels), requires_grad=True)
         self.stride = stride
+        self._workspace = Workspace()
 
     def __call__(self, x: Tensor) -> Tensor:
-        return conv1d(x, self.weight, self.bias, stride=self.stride)
+        return conv1d(
+            x, self.weight, self.bias, stride=self.stride,
+            workspace=self._workspace,
+        )
 
 
 class Dropout(Module):
@@ -124,7 +138,8 @@ class Dropout(Module):
 class GraphConv(Module):
     """DGCNN graph convolution (paper Eq. 4).
 
-    Computes ``H' = act( D^-1 (A + I) H W )`` where the normalized operator
+    Computes ``H' = tanh( D^-1 (A + I) H W )`` through the fused
+    :func:`repro.nn.functional.graph_conv` kernel; the normalized operator
     ``D^-1 (A + I)`` is precomputed by the batcher and passed as a constant
     sparse matrix.
     """
@@ -135,4 +150,4 @@ class GraphConv(Module):
         )
 
     def __call__(self, norm_adj: sp.spmatrix, h: Tensor) -> Tensor:
-        return spmm(norm_adj, h @ self.weight).tanh()
+        return graph_conv(norm_adj, h, self.weight)

@@ -1,4 +1,11 @@
-"""Optimizers: Adam (the paper's choice) and plain SGD."""
+"""Optimizers: Adam (the paper's choice) and plain SGD.
+
+Both update parameters fully in place.  Adam additionally keeps its moment
+estimates and two scratch buffers alive across steps, so a training step
+allocates no new arrays — the update arithmetic is a fixed sequence of
+``out=``-style numpy calls over preallocated storage, ordered to be
+bit-identical to the textbook (allocate-per-step) formulation.
+"""
 
 from __future__ import annotations
 
@@ -30,7 +37,10 @@ class Adam:
     """Adam with bias correction (Kingma & Ba, 2015).
 
     The paper trains DGCNN with "stochastic gradient descent with the Adam
-    updating rule" at an initial learning rate of 1e-4.
+    updating rule" at an initial learning rate of 1e-4.  ``state_dict`` /
+    ``load_state_dict`` round-trip the step counter and moment estimates,
+    which the :class:`repro.linkpred.trainer.Trainer` persists in its
+    checkpoints.
     """
 
     def __init__(
@@ -47,19 +57,60 @@ class Adam:
         self.t = 0
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        # Scratch buffers reused every step (largest parameter shape wins
+        # nothing here — one pair per parameter keeps shapes exact).
+        self._buf_a = [np.empty_like(p.data) for p in self.params]
+        self._buf_b = [np.empty_like(p.data) for p in self.params]
 
     def step(self) -> None:
         self.t += 1
+        b1, b2 = self.beta1, self.beta2
+        c1 = 1 - b1**self.t
+        c2 = 1 - b2**self.t
         for i, param in enumerate(self.params):
-            if param.grad is None:
-                continue
             grad = param.grad
-            self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * grad
-            self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * grad**2
-            m_hat = self._m[i] / (1 - self.beta1**self.t)
-            v_hat = self._v[i] / (1 - self.beta2**self.t)
-            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            if grad is None:
+                continue
+            m, v = self._m[i], self._v[i]
+            a, b = self._buf_a[i], self._buf_b[i]
+            # m = b1 * m + (1 - b1) * grad
+            np.multiply(m, b1, out=m)
+            np.multiply(grad, 1 - b1, out=a)
+            m += a
+            # v = b2 * v + (1 - b2) * grad**2
+            np.multiply(v, b2, out=v)
+            np.multiply(grad, grad, out=a)
+            a *= 1 - b2
+            v += a
+            # param -= lr * (m / c1) / (sqrt(v / c2) + eps), evaluated in
+            # the same operation order as the allocating formulation.
+            np.divide(v, c2, out=a)
+            np.sqrt(a, out=a)
+            a += self.eps
+            np.divide(m, c1, out=b)
+            b *= self.lr
+            b /= a
+            param.data -= b
 
     def zero_grad(self) -> None:
         for param in self.params:
             param.zero_grad()
+
+    def state_dict(self) -> dict:
+        """Serializable optimizer state (step count + moment estimates)."""
+        return {
+            "t": self.t,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if len(state["m"]) != len(self.params):
+            raise ValueError(
+                f"state has {len(state['m'])} moment arrays, "
+                f"optimizer has {len(self.params)} parameters"
+            )
+        self.t = int(state["t"])
+        for i, param in enumerate(self.params):
+            self._m[i] = np.asarray(state["m"][i], dtype=param.data.dtype).copy()
+            self._v[i] = np.asarray(state["v"][i], dtype=param.data.dtype).copy()

@@ -1,9 +1,17 @@
-"""Tests for graph batching and adjacency normalization."""
+"""Tests for graph batching, adjacency normalization, and the cached
+batch-construction layer (BatchCache / BatchAssembler)."""
 
 import numpy as np
 import pytest
 
-from repro.gnn import GraphExample, build_batch, normalized_adjacency
+from repro.gnn import (
+    BatchAssembler,
+    BatchCache,
+    GraphExample,
+    build_batch,
+    normalized_adjacency,
+)
+from repro.nn import default_dtype
 
 
 def triangle(label=1, width=3):
@@ -63,3 +71,61 @@ def test_graph_example_validation():
         GraphExample(2, np.array([[0, 5]]), np.ones((2, 3)))
     with pytest.raises(ValueError):
         GraphExample(2, np.empty((0, 2)), np.ones((3, 3)))
+
+
+def test_batch_respects_runtime_dtype():
+    batch = build_batch([triangle(), path()])
+    assert batch.features.dtype == default_dtype()
+    assert batch.norm_adj.dtype == default_dtype()
+
+
+def test_sortpool_order_bases():
+    batch = build_batch([triangle(), path()])
+    np.testing.assert_array_equal(batch.graph_ids, [0, 0, 0, 1, 1, 1, 1])
+    np.testing.assert_array_equal(
+        batch.segment_positions, [0, 1, 2, 0, 1, 2, 3]
+    )
+    assert batch.n_nodes == 7
+
+
+def test_batch_cache_partitions_and_reuses():
+    examples = [triangle(), path(), triangle(label=0), path(n=5)]
+    cache = BatchCache(examples, batch_size=3)
+    assert len(cache) == 2
+    assert cache.n_examples == 4
+    assert cache[0].n_graphs == 3 and cache[1].n_graphs == 1
+    # Iterating returns the same prebuilt objects (no reconstruction).
+    assert list(cache)[0] is cache[0]
+    reference = build_batch(examples[:3])
+    np.testing.assert_array_equal(cache[0].features, reference.features)
+    np.testing.assert_array_equal(
+        cache[0].norm_adj.toarray(), reference.norm_adj.toarray()
+    )
+    with pytest.raises(ValueError):
+        BatchCache(examples, batch_size=0)
+
+
+def test_batch_assembler_matches_build_batch():
+    examples = [triangle(), path(), triangle(label=0), path(n=6, label=1)]
+    assembler = BatchAssembler(examples)
+    assert len(assembler) == 4
+    for order in ([2, 0, 3], [0, 1, 2, 3], [3], [1, 1, 0]):
+        assembled = assembler.assemble(np.array(order))
+        reference = build_batch([examples[i] for i in order])
+        np.testing.assert_array_equal(
+            assembled.node_offsets, reference.node_offsets
+        )
+        np.testing.assert_array_equal(assembled.labels, reference.labels)
+        np.testing.assert_array_equal(assembled.features, reference.features)
+        a, b = assembled.norm_adj.tocsr(), reference.norm_adj.tocsr()
+        a.sort_indices(), b.sort_indices()
+        np.testing.assert_array_equal(a.indptr, b.indptr)
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.data, b.data)
+
+
+def test_batch_assembler_validation():
+    with pytest.raises(ValueError):
+        BatchAssembler([triangle(width=3), triangle(width=4)])
+    with pytest.raises(ValueError):
+        BatchAssembler([triangle()]).assemble(np.array([], dtype=np.int64))

@@ -1,0 +1,14 @@
+"""The nn test suite runs in float64: numerical gradient checks compare
+against central differences with eps=1e-6, which float32 cannot resolve.
+This is exactly the escape hatch the dtype policy exists for."""
+
+import numpy as np
+import pytest
+
+from repro.nn import dtype_scope
+
+
+@pytest.fixture(autouse=True)
+def float64_runtime():
+    with dtype_scope(np.float64):
+        yield
