@@ -3,9 +3,9 @@
 from repro.experiments import active_scale, format_fig10, run_fig10
 
 
-def test_fig10_hop_study(bench_once):
+def test_fig10_hop_study(bench_once, runner):
     scale = active_scale()
-    rows = bench_once(run_fig10, scale=scale, hops=(1, 2, 3))
+    rows = bench_once(run_fig10, scale=scale, hops=(1, 2, 3), runner=runner)
     print()
     print(format_fig10(rows))
 

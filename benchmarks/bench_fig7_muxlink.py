@@ -4,9 +4,9 @@ from repro.core.metrics import aggregate_metrics
 from repro.experiments import active_scale, format_fig7, run_fig7, summarize_fig7
 
 
-def test_fig7_muxlink_grid(bench_once):
+def test_fig7_muxlink_grid(bench_once, runner):
     scale = active_scale()
-    records = bench_once(run_fig7, scale=scale)
+    records = bench_once(run_fig7, scale=scale, runner=runner)
     print()
     print(format_fig7(records))
 

@@ -3,9 +3,9 @@
 from repro.experiments import active_scale, format_fig8, run_fig8
 
 
-def test_fig8_recovered_hamming_distance(bench_once):
+def test_fig8_recovered_hamming_distance(bench_once, runner):
     scale = active_scale()
-    rows = bench_once(run_fig8, scale=scale)
+    rows = bench_once(run_fig8, scale=scale, runner=runner)
     print()
     print(format_fig8(rows))
 

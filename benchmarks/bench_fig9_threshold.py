@@ -4,11 +4,12 @@ from repro.experiments import active_scale, format_fig9, run_fig9
 from repro.locking import DMUX_SCHEME
 
 
-def test_fig9_threshold_sweep(bench_once):
+def test_fig9_threshold_sweep(bench_once, runner):
     scale = active_scale()
     rows = bench_once(
         run_fig9, scale=scale,
         thresholds=(0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0),
+        runner=runner,
     )
     print()
     print(format_fig9(rows))

@@ -4,9 +4,25 @@ Each bench regenerates one figure of the paper at CI scale (set
 ``REPRO_EXPERIMENT_SCALE=paper`` for the full-size protocol) and prints the
 paper-style table to stdout; run with ``pytest benchmarks/ --benchmark-only -s``
 to see the tables.
+
+All figure benches execute through one session-scoped
+:class:`~repro.experiments.ExperimentRunner`, exactly like ``repro
+figures``: ``REPRO_JOBS=N`` pools the attack cells over N worker
+processes, and when several figure benches run in one pytest session the
+later ones reuse the locked netlists and trained attacks of the earlier
+ones (Fig. 8 / Fig. 9 re-train nothing after Fig. 7).
 """
 
 import pytest
+
+from repro.experiments import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """The shared pooled/cache-warm experiment runner (``REPRO_JOBS``)."""
+    with ExperimentRunner() as shared:
+        yield shared
 
 
 @pytest.fixture

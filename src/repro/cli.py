@@ -6,6 +6,8 @@ Usage examples::
     python -m repro.cli lock c1355.bench --scheme dmux --key-size 16 -o locked.bench
     python -m repro.cli attack locked.bench --epochs 20 --h 3
     python -m repro.cli attack locked.bench --workers 4   # parallel extraction
+    python -m repro.cli figures --jobs 4                  # pooled fig7-fig10
+    python -m repro.cli figures --figures 7 9 --scale smoke
     python -m repro.cli saam locked.bench
     python -m repro.cli hd original.bench recovered.bench
 
@@ -16,6 +18,12 @@ Training runs on the cached-batch float32 engine
 (:class:`repro.linkpred.Trainer`); ``--patience`` enables early stopping,
 ``--checkpoint``/``--resume`` persist and restore the full training state,
 and ``--dtype float64`` (or ``REPRO_DTYPE``) restores the float64 runtime.
+
+``figures`` regenerates the paper's Fig. 7-10 through one shared
+:class:`~repro.experiments.ExperimentRunner`: ``--jobs N`` (or
+``REPRO_JOBS``; ``auto`` = all cores) pools independent attack cells
+over N worker processes, and locked netlists / trained attacks are
+cached across figures — results are bit-identical for any job count.
 """
 
 from __future__ import annotations
@@ -106,6 +114,39 @@ def _cmd_attack(args: argparse.Namespace) -> int:
             f"KPA={metrics.kpa:.3f} X={metrics.n_x}"
         )
     print(f"runtime: {result.total_runtime:.1f}s")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        ExperimentRunner,
+        active_scale,
+        format_fig7,
+        format_fig8,
+        format_fig9,
+        format_fig10,
+        run_fig7,
+        run_fig8,
+        run_fig9,
+        run_fig10,
+        scale_by_name,
+    )
+
+    scale = scale_by_name(args.scale) if args.scale else active_scale()
+    drivers = {
+        7: (run_fig7, format_fig7),
+        8: (run_fig8, format_fig8),
+        9: (run_fig9, format_fig9),
+        10: (run_fig10, format_fig10),
+    }
+    print(f"scale={scale.name} jobs={args.jobs if args.jobs is not None else 'env'}")
+    with ExperimentRunner(jobs=args.jobs) as runner:
+        for figure in args.figures:
+            run, fmt = drivers[figure]
+            print()
+            print(fmt(run(scale=scale, seed=args.seed, runner=runner)))
+        print()
+        print(f"runner: {runner.stats.summary()}")
     return 0
 
 
@@ -230,6 +271,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="numeric runtime (default float32; also via REPRO_DTYPE)",
     )
     p.set_defaults(func=_cmd_attack)
+
+    p = sub.add_parser(
+        "figures", help="regenerate paper figures over a pooled runner"
+    )
+    p.add_argument(
+        "--figures",
+        type=int,
+        nargs="+",
+        choices=(7, 8, 9, 10),
+        default=(7, 8, 9, 10),
+        help="which figures to regenerate (default: all four)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=lambda v: v if v.strip().lower() == "auto" else int(v),
+        default=None,
+        help="attack worker processes; 'auto' = all cores "
+        "(default: REPRO_JOBS, serial when unset)",
+    )
+    p.add_argument(
+        "--scale",
+        choices=("smoke", "ci", "paper"),
+        default=None,
+        help="experiment preset (default: REPRO_EXPERIMENT_SCALE or ci)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_figures)
 
     p = sub.add_parser("saam", help="run the SAAM structural attack")
     p.add_argument("netlist")

@@ -1,42 +1,82 @@
-"""Experiment runners regenerating every figure of the paper."""
+"""Experiment runners regenerating every figure of the paper.
+
+Figure grids are declarative :class:`~repro.experiments.runner.Cell`
+lists executed by the pooled, cache-aware
+:class:`~repro.experiments.runner.ExperimentRunner` (``REPRO_JOBS`` /
+``repro figures --jobs N``); share one runner across figures to reuse
+locked netlists and trained attacks.
+"""
 
 from repro.experiments.common import (
     CI_SCALE,
     PAPER_SCALE,
+    SCALES,
+    SMOKE_SCALE,
     AttackRecord,
     ExperimentScale,
     active_scale,
     attack_benchmark,
     format_records,
     lock_with,
+    scale_by_name,
 )
 from repro.experiments.fig2 import Fig2Row, format_fig2, run_fig2
-from repro.experiments.fig7 import format_fig7, run_fig7, summarize_fig7
-from repro.experiments.fig8 import Fig8Row, format_fig8, run_fig8
-from repro.experiments.fig9 import Fig9Row, format_fig9, run_fig9
-from repro.experiments.fig10 import Fig10Row, format_fig10, run_fig10
+from repro.experiments.fig7 import fig7_cells, format_fig7, run_fig7, summarize_fig7
+from repro.experiments.fig8 import Fig8Row, fig8_cells, format_fig8, run_fig8
+from repro.experiments.fig9 import Fig9Row, fig9_cells, format_fig9, run_fig9
+from repro.experiments.fig10 import (
+    Fig10Row,
+    fig10_cells,
+    format_fig10,
+    run_fig10,
+)
+from repro.experiments.runner import (
+    Cell,
+    ExperimentRunner,
+    RunnerStats,
+    cell_seed_sequence,
+    derive_cell_seeds,
+    make_cell,
+    record_fingerprint,
+    resolve_jobs,
+)
 
 __all__ = [
     "ExperimentScale",
+    "SMOKE_SCALE",
     "CI_SCALE",
     "PAPER_SCALE",
+    "SCALES",
     "active_scale",
+    "scale_by_name",
     "AttackRecord",
     "attack_benchmark",
     "lock_with",
     "format_records",
+    "Cell",
+    "ExperimentRunner",
+    "RunnerStats",
+    "cell_seed_sequence",
+    "derive_cell_seeds",
+    "make_cell",
+    "record_fingerprint",
+    "resolve_jobs",
     "run_fig2",
     "format_fig2",
     "Fig2Row",
+    "fig7_cells",
     "run_fig7",
     "format_fig7",
     "summarize_fig7",
+    "fig8_cells",
     "run_fig8",
     "format_fig8",
     "Fig8Row",
+    "fig9_cells",
     "run_fig9",
     "format_fig9",
     "Fig9Row",
+    "fig10_cells",
     "run_fig10",
     "format_fig10",
     "Fig10Row",

@@ -1,14 +1,26 @@
 """Shared experiment infrastructure: scales, runners, result records.
 
-Two parameter presets exist for every experiment:
+Three parameter presets exist for every experiment:
 
+* ``SMOKE`` — one tiny benchmark, one key size, two epochs.  Seconds of
+  runtime; the preset the test suite drives every figure through.
 * ``CI`` — shrunk circuits / keys / epochs so the whole figure regenerates
   in minutes on a laptop.  This is what ``benchmarks/`` runs.
 * ``PAPER`` — the full-size setting of the paper (all 13 benchmarks,
   K up to 512, 100 epochs).  Same code path, hours of runtime.
 
-Set the environment variable ``REPRO_EXPERIMENT_SCALE=paper`` to make the
-benches run the paper preset.
+Set the environment variable ``REPRO_EXPERIMENT_SCALE=paper`` (or
+``smoke``) to switch the benches to another preset.
+
+Figure grids execute through the pooled, cache-aware engine in
+:mod:`repro.experiments.runner`: ``REPRO_JOBS=N`` (or ``repro figures
+--jobs N``) fans independent attack cells out over N worker processes,
+while locked netlists and trained attacks are cached and reused across
+cells and figures.  The default (``REPRO_JOBS=0``) stays serial, and
+serial, pooled and reordered runs produce bit-identical
+:class:`AttackRecord` payloads because every cell derives its RNG
+streams from :func:`repro.experiments.runner.cell_seed_sequence`, keyed
+on the cell identity rather than grid order.
 """
 
 from __future__ import annotations
@@ -16,10 +28,8 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-from repro.benchgen import load_benchmark
-from repro.core import MuxLinkConfig, score_key
+from repro.core import MuxLinkConfig
 from repro.core.metrics import KeyMetrics
-from repro.core.muxlink import run_muxlink
 from repro.linkpred import TrainConfig
 from repro.locking import (
     DMUX_SCHEME,
@@ -32,9 +42,12 @@ from repro.netlist import Circuit
 
 __all__ = [
     "ExperimentScale",
+    "SMOKE_SCALE",
     "CI_SCALE",
     "PAPER_SCALE",
+    "SCALES",
     "active_scale",
+    "scale_by_name",
     "AttackRecord",
     "lock_with",
     "attack_benchmark",
@@ -106,6 +119,19 @@ class ExperimentScale:
         )
 
 
+SMOKE_SCALE = ExperimentScale(
+    name="smoke",
+    iscas=("c1355",),
+    itc=(),
+    circuit_scale_iscas=0.1,
+    circuit_scale_itc=0.1,
+    iscas_keys=(6,),
+    itc_keys=(),
+    h=1,
+    epochs=2,
+    hd_patterns=256,
+)
+
 CI_SCALE = ExperimentScale(
     name="ci",
     iscas=("c1355", "c1908", "c2670"),
@@ -134,11 +160,25 @@ PAPER_SCALE = ExperimentScale(
 )
 
 
+SCALES = {
+    SMOKE_SCALE.name: SMOKE_SCALE,
+    CI_SCALE.name: CI_SCALE,
+    PAPER_SCALE.name: PAPER_SCALE,
+}
+
+
+def scale_by_name(name: str) -> ExperimentScale:
+    """Look a preset up by name (``smoke`` / ``ci`` / ``paper``)."""
+    try:
+        return SCALES[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown scale {name!r}; choose from {sorted(SCALES)}")
+
+
 def active_scale() -> ExperimentScale:
     """Preset selected via ``REPRO_EXPERIMENT_SCALE`` (default: CI)."""
-    if os.environ.get("REPRO_EXPERIMENT_SCALE", "ci").lower() == "paper":
-        return PAPER_SCALE
-    return CI_SCALE
+    name = os.environ.get("REPRO_EXPERIMENT_SCALE", "ci").lower()
+    return SCALES.get(name, CI_SCALE)
 
 
 _LOCKERS = {
@@ -178,21 +218,24 @@ def attack_benchmark(
     scale: ExperimentScale,
     circuit_scale: float,
     seed: int = 0,
+    runner=None,
 ) -> AttackRecord:
-    """Lock one benchmark and run MuxLink on it."""
-    base = load_benchmark(name, scale=circuit_scale)
-    locked = lock_with(scheme, base, key_size=key_size, seed=seed)
-    result = run_muxlink(locked.circuit, scale.attack_config(seed=seed))
-    metrics = score_key(result.predicted_key, locked.key)
-    return AttackRecord(
-        benchmark=name,
-        scheme=scheme,
-        key_size=key_size,
-        metrics=metrics,
-        runtime_seconds=result.total_runtime,
-        predicted_key=result.predicted_key,
-        extras={"result": result, "locked": locked, "base": base},
-    )
+    """Lock one benchmark and run MuxLink on it.
+
+    *seed* is the base experiment seed; the cell's actual lock / train
+    streams are derived from it via
+    :func:`repro.experiments.runner.cell_seed_sequence`, keyed on
+    ``(benchmark, scheme, key_size)`` so every cell of a grid gets an
+    independent stream regardless of iteration order.  Passing a shared
+    :class:`~repro.experiments.runner.ExperimentRunner` reuses its
+    artifact caches (and worker pool) across calls.
+    """
+    from repro.experiments.runner import ExperimentRunner, make_cell
+
+    if runner is None:
+        runner = ExperimentRunner(jobs=0)
+    cell = make_cell(scale, name, circuit_scale, scheme, key_size, seed)
+    return runner.run([cell])[0]
 
 
 def format_records(records: list[AttackRecord], title: str) -> str:

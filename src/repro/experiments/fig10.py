@@ -6,17 +6,14 @@ while runtime grows with h (neighbourhoods grow exponentially).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.core.metrics import aggregate_metrics
-from repro.experiments.common import (
-    ExperimentScale,
-    active_scale,
-    attack_benchmark,
-)
+from repro.experiments.common import ExperimentScale, active_scale
+from repro.experiments.runner import Cell, ExperimentRunner, make_cell
 from repro.locking import DMUX_SCHEME
 
-__all__ = ["Fig10Row", "run_fig10", "format_fig10"]
+__all__ = ["Fig10Row", "fig10_cells", "run_fig10", "format_fig10"]
 
 
 @dataclass(frozen=True)
@@ -28,26 +25,46 @@ class Fig10Row:
     runtime_seconds: float
 
 
+def fig10_cells(
+    scale: ExperimentScale, hops: tuple[int, ...] = (1, 2, 3), seed: int = 0
+) -> list[Cell]:
+    """One D-MUX cell per (hop count, ISCAS-85 benchmark).
+
+    The hop count only overrides the attack's ``h``; the cell seeds are
+    keyed on the cell identity alone, so every hop attacks the *same*
+    locked netlist and a shared runner locks each benchmark once.
+    """
+    return [
+        make_cell(
+            scale, name, circuit_scale, DMUX_SCHEME, max(key_sizes), seed, h=h
+        )
+        for h in hops
+        for name, circuit_scale, key_sizes in scale.benchmarks()
+        if name in scale.iscas
+    ]
+
+
 def run_fig10(
     scale: ExperimentScale | None = None,
     hops: tuple[int, ...] = (1, 2, 3),
     seed: int = 0,
+    runner: ExperimentRunner | None = None,
+    jobs: int | None = None,
 ) -> list[Fig10Row]:
-    """Re-run the attack for each h (paper: h in [1, 4], saturating at 3)."""
+    """Re-run the attack for each h (paper: h in [1, 4], saturating at 3).
+
+    All (hop, benchmark) cells go to the runner as one wave, so a pooled
+    run parallelizes across hops as well as benchmarks.
+    """
     scale = scale or active_scale()
+    if runner is None:
+        with ExperimentRunner(jobs=jobs) as owned:
+            return run_fig10(scale, hops, seed, runner=owned)
+    cells = fig10_cells(scale, hops, seed)
+    all_records = list(zip(cells, runner.run(cells)))
     rows: list[Fig10Row] = []
     for h in hops:
-        h_scale = replace(scale, h=h)
-        records = []
-        for name, circuit_scale, key_sizes in h_scale.benchmarks():
-            if name not in h_scale.iscas:
-                continue
-            records.append(
-                attack_benchmark(
-                    name, DMUX_SCHEME, max(key_sizes), h_scale, circuit_scale,
-                    seed=seed,
-                )
-            )
+        records = [r for cell, r in all_records if cell.config.h == h]
         metrics = aggregate_metrics([r.metrics for r in records])
         kpa = metrics.kpa if metrics.kpa == metrics.kpa else 0.0
         rows.append(

@@ -12,29 +12,41 @@ from repro.experiments.common import (
     AttackRecord,
     ExperimentScale,
     active_scale,
-    attack_benchmark,
     format_records,
 )
+from repro.experiments.runner import Cell, ExperimentRunner, make_cell
 from repro.locking import DMUX_SCHEME, SYMMETRIC_SCHEME
 
-__all__ = ["run_fig7", "format_fig7", "summarize_fig7"]
+__all__ = ["fig7_cells", "run_fig7", "format_fig7", "summarize_fig7"]
+
+
+def fig7_cells(scale: ExperimentScale, seed: int = 0) -> list[Cell]:
+    """The full (benchmark × scheme × key size) grid as declarative cells."""
+    return [
+        make_cell(scale, name, circuit_scale, scheme, key_size, seed)
+        for scheme in (DMUX_SCHEME, SYMMETRIC_SCHEME)
+        for name, circuit_scale, key_sizes in scale.benchmarks()
+        for key_size in key_sizes
+    ]
 
 
 def run_fig7(
-    scale: ExperimentScale | None = None, seed: int = 0
+    scale: ExperimentScale | None = None,
+    seed: int = 0,
+    runner: ExperimentRunner | None = None,
+    jobs: int | None = None,
 ) -> list[AttackRecord]:
-    """Run MuxLink over the full (benchmark × scheme × key size) grid."""
+    """Run MuxLink over the full (benchmark × scheme × key size) grid.
+
+    Cells execute through *runner* (or a fresh one honouring *jobs* /
+    ``REPRO_JOBS``); sharing a runner across figures reuses its locked
+    netlists and trained attacks.
+    """
     scale = scale or active_scale()
-    records: list[AttackRecord] = []
-    for scheme in (DMUX_SCHEME, SYMMETRIC_SCHEME):
-        for name, circuit_scale, key_sizes in scale.benchmarks():
-            for key_size in key_sizes:
-                records.append(
-                    attack_benchmark(
-                        name, scheme, key_size, scale, circuit_scale, seed=seed
-                    )
-                )
-    return records
+    if runner is not None:
+        return runner.run(fig7_cells(scale, seed))
+    with ExperimentRunner(jobs=jobs) as owned:
+        return owned.run(fig7_cells(scale, seed))
 
 
 def summarize_fig7(records: list[AttackRecord]) -> dict[str, float]:

@@ -10,14 +10,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core import hamming_with_x
-from repro.experiments.common import (
-    ExperimentScale,
-    active_scale,
-    attack_benchmark,
-)
+from repro.experiments.common import ExperimentScale, active_scale
+from repro.experiments.runner import Cell, ExperimentRunner, make_cell
 from repro.locking import DMUX_SCHEME
 
-__all__ = ["Fig8Row", "run_fig8", "format_fig8"]
+__all__ = ["Fig8Row", "fig8_cells", "run_fig8", "format_fig8"]
 
 
 @dataclass(frozen=True)
@@ -29,19 +26,33 @@ class Fig8Row:
     hamming_distance: float
 
 
+def fig8_cells(scale: ExperimentScale, seed: int = 0) -> list[Cell]:
+    """D-MUX at the largest preset key per ISCAS-85 benchmark.
+
+    These cells carry the same identity as their Fig. 7 counterparts, so
+    a shared runner re-locks and re-trains nothing for this figure.
+    """
+    return [
+        make_cell(scale, name, circuit_scale, DMUX_SCHEME, max(key_sizes), seed)
+        for name, circuit_scale, key_sizes in scale.benchmarks()
+        if name in scale.iscas  # the paper's Fig. 8 covers the ISCAS-85 set
+    ]
+
+
 def run_fig8(
-    scale: ExperimentScale | None = None, seed: int = 0
+    scale: ExperimentScale | None = None,
+    seed: int = 0,
+    runner: ExperimentRunner | None = None,
+    jobs: int | None = None,
 ) -> list[Fig8Row]:
     """Attack each D-MUX benchmark and measure recovered-design HD."""
     scale = scale or active_scale()
+    if runner is None:
+        with ExperimentRunner(jobs=jobs) as owned:
+            return run_fig8(scale, seed, runner=owned)
+    records = runner.run(fig8_cells(scale, seed))
     rows: list[Fig8Row] = []
-    for name, circuit_scale, key_sizes in scale.benchmarks():
-        if name not in scale.iscas:
-            continue  # the paper's Fig. 8 covers the ISCAS-85 set
-        key_size = max(key_sizes)
-        record = attack_benchmark(
-            name, DMUX_SCHEME, key_size, scale, circuit_scale, seed=seed
-        )
+    for record in records:
         hd = hamming_with_x(
             record.extras["base"],
             record.extras["locked"].circuit,
@@ -52,8 +63,8 @@ def run_fig8(
         )
         rows.append(
             Fig8Row(
-                benchmark=name,
-                key_size=key_size,
+                benchmark=record.benchmark,
+                key_size=record.key_size,
                 accuracy=record.metrics.accuracy,
                 n_x=record.metrics.n_x,
                 hamming_distance=hd,

@@ -15,14 +15,11 @@ import numpy as np
 
 from repro.core import rescore_key, score_key
 from repro.core.metrics import aggregate_metrics
-from repro.experiments.common import (
-    ExperimentScale,
-    active_scale,
-    attack_benchmark,
-)
+from repro.experiments.common import ExperimentScale, active_scale
+from repro.experiments.runner import Cell, ExperimentRunner, make_cell
 from repro.locking import DMUX_SCHEME, SYMMETRIC_SCHEME
 
-__all__ = ["Fig9Row", "run_fig9", "format_fig9"]
+__all__ = ["Fig9Row", "fig9_cells", "run_fig9", "format_fig9"]
 
 
 @dataclass(frozen=True)
@@ -35,26 +32,40 @@ class Fig9Row:
     decision_rate: float
 
 
+def fig9_cells(scale: ExperimentScale, seed: int = 0) -> list[Cell]:
+    """Both schemes at the largest preset key per ISCAS-85 benchmark."""
+    return [
+        make_cell(scale, name, circuit_scale, scheme, max(key_sizes), seed)
+        for scheme in (DMUX_SCHEME, SYMMETRIC_SCHEME)
+        for name, circuit_scale, key_sizes in scale.benchmarks()
+        if name in scale.iscas
+    ]
+
+
 def run_fig9(
     scale: ExperimentScale | None = None,
     thresholds: tuple[float, ...] | None = None,
     seed: int = 0,
+    runner: ExperimentRunner | None = None,
+    jobs: int | None = None,
 ) -> list[Fig9Row]:
-    """Sweep ``th`` over trained attacks for both schemes."""
+    """Sweep ``th`` over trained attacks for both schemes.
+
+    The GNN is trained once per (scheme, benchmark) cell — pooled when
+    *jobs* / ``REPRO_JOBS`` asks for it, and reused outright from a
+    shared runner that already ran Fig. 7 — and every threshold value
+    only re-runs the Algorithm-1 post-processing.
+    """
     scale = scale or active_scale()
+    if runner is None:
+        with ExperimentRunner(jobs=jobs) as owned:
+            return run_fig9(scale, thresholds, seed, runner=owned)
     if thresholds is None:
         thresholds = tuple(np.round(np.arange(0.0, 1.0001, 0.05), 2))
+    records = runner.run(fig9_cells(scale, seed))
     rows: list[Fig9Row] = []
     for scheme in (DMUX_SCHEME, SYMMETRIC_SCHEME):
-        attacks = []
-        for name, circuit_scale, key_sizes in scale.benchmarks():
-            if name not in scale.iscas:
-                continue
-            attacks.append(
-                attack_benchmark(
-                    name, scheme, max(key_sizes), scale, circuit_scale, seed=seed
-                )
-            )
+        attacks = [r for r in records if r.scheme == scheme]
         for th in thresholds:
             metrics = aggregate_metrics(
                 [

@@ -1,0 +1,357 @@
+"""Pooled, cache-aware experiment engine for the figure drivers.
+
+The paper's headline figures (Fig. 7-10) are grids of *independent*
+(benchmark x scheme x key size) attack cells.  This module turns each
+figure into a declarative list of :class:`Cell` jobs and executes them
+through one :class:`ExperimentRunner` that
+
+* **parallelizes** — unique attacks run over a shared
+  :class:`~concurrent.futures.ProcessPoolExecutor` (``REPRO_JOBS`` or
+  ``--jobs``; the default ``0`` stays serial so single-core runs remain
+  exactly reproducible with zero pool overhead);
+* **caches** — locked netlists and trained attack results are keyed by
+  content (a digest of the locked BENCH text plus the attack
+  configuration with the post-processing threshold normalized out), so a
+  netlist locked for Fig. 7 is reused by Fig. 8's Hamming runs and
+  Fig. 9's threshold sweep, and a trained checkpoint is reused across
+  thresholds and figures wherever the config hash matches;
+* **seeds per cell** — every cell derives its lock / train RNG streams
+  from ``SeedSequence(seed)`` spawned with a key computed from the cell
+  identity ``(benchmark, scheme, key_size)``, *not* from grid iteration
+  order, so serial, pooled and reordered runs produce bit-identical
+  :class:`~repro.experiments.common.AttackRecord` payloads.
+
+Cache coherence under parallelism is by construction: the parent process
+plans the grid, dedupes attack jobs against its caches *before* any work
+is submitted, executes only the unique jobs (in the pool or in-process),
+and materializes every cell's record from the parent-side caches.
+Workers never see the caches, so serial and pooled runs perform the same
+unique computations in the same code path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.benchgen import load_benchmark
+from repro.core import MuxLinkConfig, MuxLinkResult, rescore_key, run_muxlink, score_key
+from repro.experiments.common import (
+    AttackRecord,
+    ExperimentScale,
+    lock_with,
+)
+from repro.locking import LockedCircuit
+from repro.netlist import Circuit
+from repro.netlist.bench import write_bench
+
+__all__ = [
+    "Cell",
+    "ExperimentRunner",
+    "RunnerStats",
+    "cell_seed_sequence",
+    "derive_cell_seeds",
+    "make_cell",
+    "record_fingerprint",
+    "resolve_jobs",
+]
+
+
+def resolve_jobs(jobs: int | str | None = None) -> int:
+    """Worker-process count: explicit argument, else ``REPRO_JOBS``, else 0.
+
+    ``0`` and ``1`` both mean *serial in-process* (the reproducible
+    single-core default); ``"auto"`` maps to :func:`os.cpu_count`.
+    """
+    if jobs is None:
+        jobs = os.environ.get("REPRO_JOBS", "0") or "0"
+    if isinstance(jobs, str):
+        jobs = os.cpu_count() or 1 if jobs.strip().lower() == "auto" else int(jobs)
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return int(jobs)
+
+
+def _stable_u32(text: str) -> int:
+    """Order- and process-independent 32-bit hash of a string."""
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:4], "big")
+
+
+def cell_seed_sequence(
+    seed: int, benchmark: str, scheme: str, key_size: int
+) -> np.random.SeedSequence:
+    """Root :class:`~numpy.random.SeedSequence` of one cell.
+
+    The spawn key is derived from the cell *identity* — not from the
+    position of the cell in a grid — so the stream is invariant to grid
+    order, pool size and which figure requested the cell.  ``h`` and
+    ``threshold`` are deliberately excluded: Fig. 10's hop sweep and
+    Fig. 9's threshold sweep attack the *same* locked instance.
+    """
+    return np.random.SeedSequence(
+        entropy=seed,
+        spawn_key=(_stable_u32(benchmark), _stable_u32(scheme), int(key_size)),
+    )
+
+
+def derive_cell_seeds(
+    seed: int, benchmark: str, scheme: str, key_size: int
+) -> tuple[int, int]:
+    """Independent ``(lock_seed, train_seed)`` streams for one cell."""
+    lock_ss, train_ss = cell_seed_sequence(seed, benchmark, scheme, key_size).spawn(2)
+    return (
+        int(lock_ss.generate_state(1)[0]),
+        int(train_ss.generate_state(1)[0]),
+    )
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One declarative attack job of a figure grid.
+
+    ``lock_seed`` and ``config`` (whose sampling/train seeds are the
+    cell's derived streams) are precomputed by :func:`make_cell`, so a
+    ``Cell`` is a self-contained, hashable, picklable work item.
+    """
+
+    benchmark: str
+    scheme: str
+    key_size: int
+    circuit_scale: float
+    seed: int
+    lock_seed: int
+    config: MuxLinkConfig
+
+
+def make_cell(
+    scale: ExperimentScale,
+    benchmark: str,
+    circuit_scale: float,
+    scheme: str,
+    key_size: int,
+    seed: int = 0,
+    *,
+    h: int | None = None,
+    threshold: float | None = None,
+) -> Cell:
+    """Build a :class:`Cell` with per-cell RNG streams derived from *seed*."""
+    lock_seed, train_seed = derive_cell_seeds(seed, benchmark, scheme, key_size)
+    config = scale.attack_config(seed=train_seed)
+    if h is not None:
+        config = replace(config, h=h)
+    if threshold is not None:
+        config = replace(config, threshold=threshold)
+    return Cell(
+        benchmark=benchmark,
+        scheme=scheme,
+        key_size=int(key_size),
+        circuit_scale=float(circuit_scale),
+        seed=int(seed),
+        lock_seed=lock_seed,
+        config=config,
+    )
+
+
+@dataclass
+class RunnerStats:
+    """Instrumented cache counters (tests assert zero re-locks on warm runs)."""
+
+    bases_loaded: int = 0
+    bases_reused: int = 0
+    locks_computed: int = 0
+    locks_reused: int = 0
+    attacks_computed: int = 0
+    attacks_reused: int = 0
+    cells_run: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"cells={self.cells_run} "
+            f"locks={self.locks_computed} (+{self.locks_reused} cached) "
+            f"attacks={self.attacks_computed} (+{self.attacks_reused} cached)"
+        )
+
+
+def _run_attack_job(circuit: Circuit, config: MuxLinkConfig) -> MuxLinkResult:
+    """One unique attack computation; the single code path for serial and
+    pooled execution (workers import this module-level function)."""
+    return run_muxlink(circuit, config)
+
+
+def record_fingerprint(record: AttackRecord) -> tuple:
+    """Deterministic payload of a record, for bit-identity assertions.
+
+    Covers everything the attack *computed* — predicted key, metrics,
+    per-MUX likelihoods, training losses — and excludes only wall-clock
+    timing, which can never be identical between two runs.
+    """
+    result = record.extras["result"]
+    scored = tuple(
+        sorted(
+            (s.mux_name, s.key_index, s.load, s.likelihoods)
+            for s in result.scored
+        )
+    )
+    return (
+        record.benchmark,
+        record.scheme,
+        record.key_size,
+        record.predicted_key,
+        (
+            record.metrics.n_total,
+            record.metrics.n_correct,
+            record.metrics.n_wrong,
+            record.metrics.n_x,
+        ),
+        scored,
+        tuple(result.history.train_loss),
+        tuple(result.history.val_loss),
+        record.extras["locked"].key,
+    )
+
+
+class ExperimentRunner:
+    """Executes :class:`Cell` grids with artifact reuse and an optional pool.
+
+    One runner instance is intended to be shared across figure drivers
+    (see ``repro figures``): Fig. 8 / Fig. 9 / Fig. 10 then reuse the
+    base circuits, locked netlists and trained attacks that Fig. 7
+    already produced.  The runner is a context manager; ``close()``
+    shuts the worker pool down (caches survive until the runner is
+    garbage collected).
+    """
+
+    def __init__(self, jobs: int | str | None = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.stats = RunnerStats()
+        self._bases: dict[tuple[str, float], Circuit] = {}
+        self._locks: dict[tuple, LockedCircuit] = {}
+        self._digests: dict[tuple, str] = {}
+        self._attacks: dict[tuple, MuxLinkResult] = {}
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- context management -------------------------------------------------
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the shared worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _executor(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    # -- artifact caches ----------------------------------------------------
+    def base_circuit(self, benchmark: str, circuit_scale: float) -> Circuit:
+        """Load (or reuse) one stand-in benchmark circuit."""
+        key = (benchmark, float(circuit_scale))
+        if key in self._bases:
+            self.stats.bases_reused += 1
+        else:
+            self._bases[key] = load_benchmark(benchmark, scale=circuit_scale)
+            self.stats.bases_loaded += 1
+        return self._bases[key]
+
+    @staticmethod
+    def _lock_key(cell: Cell) -> tuple:
+        return (
+            cell.benchmark,
+            cell.circuit_scale,
+            cell.scheme,
+            cell.key_size,
+            cell.lock_seed,
+        )
+
+    def locked_circuit(self, cell: Cell) -> LockedCircuit:
+        """Lock (or reuse) the cell's netlist; digests feed the attack key."""
+        key = self._lock_key(cell)
+        if key in self._locks:
+            self.stats.locks_reused += 1
+        else:
+            base = self.base_circuit(cell.benchmark, cell.circuit_scale)
+            locked = lock_with(
+                cell.scheme, base, key_size=cell.key_size, seed=cell.lock_seed
+            )
+            self._locks[key] = locked
+            self._digests[key] = hashlib.sha256(
+                write_bench(locked.circuit, key=locked.key).encode()
+            ).hexdigest()
+            self.stats.locks_computed += 1
+        return self._locks[key]
+
+    @staticmethod
+    def _attack_key(digest: str, config: MuxLinkConfig) -> tuple:
+        # The threshold only affects post-processing (Fig. 9 rescales
+        # without retraining), so it is normalized out of the cache key.
+        return (digest, replace(config, threshold=0.0))
+
+    # -- execution ----------------------------------------------------------
+    def run(self, cells: list[Cell] | tuple[Cell, ...]) -> list[AttackRecord]:
+        """Execute a grid; returns one record per cell, in cell order."""
+        cells = list(cells)
+        plans: list[tuple[Cell, tuple, tuple]] = []
+        pending: dict[tuple, tuple[Circuit, MuxLinkConfig]] = {}
+        for cell in cells:
+            locked = self.locked_circuit(cell)
+            lock_key = self._lock_key(cell)
+            attack_key = self._attack_key(self._digests[lock_key], cell.config)
+            if attack_key in self._attacks or attack_key in pending:
+                self.stats.attacks_reused += 1
+            else:
+                pending[attack_key] = (locked.circuit, cell.config)
+                self.stats.attacks_computed += 1
+            plans.append((cell, lock_key, attack_key))
+
+        self._execute(pending)
+        self.stats.cells_run += len(cells)
+        return [self._materialize(*plan) for plan in plans]
+
+    def _execute(
+        self, pending: dict[tuple, tuple[Circuit, MuxLinkConfig]]
+    ) -> None:
+        items = list(pending.items())
+        if self.jobs > 1 and len(items) > 1:
+            futures = [
+                (key, self._executor().submit(_run_attack_job, circuit, config))
+                for key, (circuit, config) in items
+            ]
+            for key, future in futures:
+                self._attacks[key] = future.result()
+        else:
+            for key, (circuit, config) in items:
+                self._attacks[key] = _run_attack_job(circuit, config)
+
+    def _materialize(
+        self, cell: Cell, lock_key: tuple, attack_key: tuple
+    ) -> AttackRecord:
+        result = self._attacks[attack_key]
+        locked = self._locks[lock_key]
+        # Rescoring at the cell's own threshold keeps cached results exact
+        # across Fig. 9's sweep; at the trained threshold it is the
+        # identity (post-processing is deterministic).
+        predicted = rescore_key(result, cell.config.threshold)
+        metrics = score_key(predicted, locked.key)
+        return AttackRecord(
+            benchmark=cell.benchmark,
+            scheme=cell.scheme,
+            key_size=cell.key_size,
+            metrics=metrics,
+            runtime_seconds=result.total_runtime,
+            predicted_key=predicted,
+            extras={
+                "result": result,
+                "locked": locked,
+                "base": self._bases[(cell.benchmark, cell.circuit_scale)],
+            },
+        )

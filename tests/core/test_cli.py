@@ -67,3 +67,21 @@ def test_unlock_without_key_fails(tmp_path, capsys):
 def test_unknown_benchmark_rejected(tmp_path):
     with pytest.raises(SystemExit):
         main(["generate", "c9999", "-o", str(tmp_path / "x.bench")])
+
+
+def test_figures_command_smoke(capsys):
+    assert main([
+        "figures", "--scale", "smoke", "--figures", "7", "9",
+        "--jobs", "0", "--seed", "0",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 7" in out
+    assert "Fig. 9" in out
+    assert "Fig. 8" not in out  # only the requested figures run
+    # The shared runner reports its cache counters.
+    assert "runner: cells=" in out
+
+
+def test_figures_command_rejects_unknown_figure():
+    with pytest.raises(SystemExit):
+        main(["figures", "--figures", "3"])
