@@ -1,0 +1,56 @@
+"""Machine-readable perf records for the bench suite.
+
+Every bench appends its section to one JSON document —
+``BENCH_training.json`` by default, overridable via the
+``REPRO_BENCH_RECORD`` environment variable — which CI uploads as a build
+artifact, seeding the cross-PR performance trajectory.  Sections are
+merged read-modify-write so several benches (bench_training, bench_spmm)
+can contribute to one record within a CI job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+RECORD_SCHEMA = 1
+
+
+def record_path() -> str:
+    return os.environ.get("REPRO_BENCH_RECORD", "BENCH_training.json")
+
+
+def update_record(section: str, payload: dict) -> str:
+    """Merge *payload* under *section* in the shared perf record.
+
+    Returns the record path.  Timestamps and host fingerprints are
+    attached at the top level so downstream tooling can normalize runs.
+    """
+    path = record_path()
+    record: dict = {"schema": RECORD_SCHEMA}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            pass
+    record["schema"] = RECORD_SCHEMA
+    record["generated_at"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    record.setdefault("host", {})
+    record["host"].update(
+        {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "ci": bool(os.environ.get("CI")),
+        }
+    )
+    record[section] = payload
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path

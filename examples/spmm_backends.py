@@ -1,0 +1,102 @@
+"""The block-sparse spmm engine: backends, workspaces, streamed scoring.
+
+Runs in well under a minute::
+
+    python examples/spmm_backends.py
+
+Everything the DGCNN multiplies — four graph convolutions forward, four
+transposed products backward, every step — goes through the engine in
+``repro.nn.sparse``.  This example shows the three public knobs:
+
+* ``REPRO_SPMM`` / :func:`repro.nn.set_spmm_backend` /
+  :func:`repro.nn.spmm_scope` pick the kernel family (``scipy`` /
+  ``ell`` / ``numba``); all of them are bit-identical in float64,
+* forward workspaces make steady-state training allocation-free (nothing
+  to configure — shown here by the bit-identical repeat run),
+* ``MuxLinkConfig.score_prefetch`` streams candidate scoring so target
+  subgraph extraction overlaps the GNN forwards.
+"""
+
+import numpy as np
+
+from repro import MuxLinkConfig, TrainConfig, load_benchmark, lock_dmux, run_muxlink
+from repro.gnn import build_batch, GraphExample
+from repro.nn import SparseOp, numba_available, spmm_backend, spmm_scope
+
+
+def main() -> None:
+    # 1. One operator, three kernel families, identical numbers. ---------
+    rng = np.random.default_rng(0)
+    examples = [
+        GraphExample(
+            n_nodes=12,
+            edges=rng.integers(0, 12, size=(20, 2)),
+            features=rng.standard_normal((12, 4)),
+            label=1,
+        )
+        for _ in range(8)
+    ]
+    batch = build_batch(examples)
+    operator = batch.operator  # cached SparseOp: CSR/ELL built once per batch
+    dense = rng.standard_normal((batch.n_nodes, 32)).astype(
+        batch.features.dtype
+    )
+    reference = batch.norm_adj.tocsr() @ dense
+    backends = ["scipy", "ell"] + (["numba"] if numba_available() else [])
+    for backend in backends:
+        with spmm_scope(backend):
+            product = operator.matmul(dense)
+            transposed = operator.matmul_t(dense)
+        print(
+            f"backend {backend:>5}: A@H exact={np.array_equal(product, reference)}"
+            f"  A.T@G exact="
+            f"{np.array_equal(transposed, batch.norm_adj.tocsr().T @ dense)}"
+        )
+    print(f"active backend (REPRO_SPMM): {spmm_backend()}")
+    ell = operator.ell
+    print(
+        f"batched-ELL layout: {ell.shape[0]} rows padded to width "
+        f"{ell.width} ({operator.nnz} stored entries)"
+    )
+
+    # 2. The full attack with streamed scoring. --------------------------
+    # score_prefetch > 0 (the default) overlaps target-subgraph
+    # extraction with GNN scoring through a bounded producer/consumer
+    # queue; 0 restores the serial extract-everything-then-score path.
+    # Likelihoods are bit-identical either way.
+    base = load_benchmark("c1355", scale=0.3)
+    locked = lock_dmux(base, key_size=8, seed=1)
+    config = dict(
+        h=2, train=TrainConfig(epochs=3, learning_rate=1e-3, seed=0), seed=0
+    )
+    streamed = run_muxlink(
+        locked.circuit, MuxLinkConfig(score_prefetch=2, **config)
+    )
+    serial = run_muxlink(
+        locked.circuit, MuxLinkConfig(score_prefetch=0, **config)
+    )
+    same = np.array_equal(
+        np.array([m.likelihoods for m in streamed.scored]),
+        np.array([m.likelihoods for m in serial.scored]),
+    )
+    print(
+        f"\nstreamed scoring: key {streamed.predicted_key} "
+        f"(serial parity: {same}, "
+        f"testing stage {streamed.runtime_seconds['testing']:.2f}s)"
+    )
+
+    # 3. Workspace reuse is invisible — and exactly reproducible. --------
+    # The DGCNN recycles its forward buffers (graph-conv slots, the
+    # fused sortpool/conv gather) across steps; a re-run of the same
+    # attack walks a bit-identical trajectory.
+    again = run_muxlink(
+        locked.circuit, MuxLinkConfig(score_prefetch=2, **config)
+    )
+    print(
+        "repeat run bit-identical: "
+        f"{again.predicted_key == streamed.predicted_key}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -86,6 +86,10 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         import repro.nn as nn
 
         nn.set_default_dtype(args.dtype)
+    if args.spmm:
+        import repro.nn as nn
+
+        nn.set_spmm_backend(args.spmm)
     circuit, key = load_bench(args.netlist)
     config = MuxLinkConfig(
         h=args.h,
@@ -104,6 +108,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         ),
         seed=args.seed,
         n_workers=args.workers,
+        score_prefetch=args.score_prefetch,
     )
     result = run_muxlink(circuit, config)
     print(f"predicted key: {result.predicted_key}")
@@ -269,6 +274,19 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("float32", "float64"),
         default=None,
         help="numeric runtime (default float32; also via REPRO_DTYPE)",
+    )
+    p.add_argument(
+        "--spmm",
+        choices=("scipy", "ell", "numba"),
+        default=None,
+        help="sparse kernel family (default scipy; also via REPRO_SPMM)",
+    )
+    p.add_argument(
+        "--score-prefetch",
+        type=int,
+        default=2,
+        help="batches in flight in the streamed extract+score pipeline "
+        "(0 = serial extract-then-score; results identical)",
     )
     p.set_defaults(func=_cmd_attack)
 

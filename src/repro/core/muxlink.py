@@ -24,8 +24,10 @@ from repro.linkpred import (
     build_link_dataset,
     build_target_examples,
     extract_attack_graph,
+    iter_target_examples,
     sample_links,
     score_examples,
+    score_stream,
 )
 from repro.netlist import Circuit
 
@@ -46,6 +48,13 @@ class MuxLinkConfig:
         seed: sampling seed.
         n_workers: subgraph-extraction worker processes (``<= 1`` runs
             in-process; results are identical either way).
+        score_prefetch: candidate scoring runs as a streamed pipeline —
+            target-subgraph extraction overlaps GNN forwards with at most
+            this many batches in flight (``<= 0`` restores the serial
+            extract-everything-then-score path; likelihoods are identical
+            either way).  Applies only when ``n_workers <= 1``: with a
+            worker pool, extraction forks from the main thread over all
+            candidates at once instead.
     """
 
     h: int = 3
@@ -58,6 +67,7 @@ class MuxLinkConfig:
     use_degree: bool = True
     seed: int = 0
     n_workers: int = 0
+    score_prefetch: int = 2
 
 
 @dataclass
@@ -123,12 +133,36 @@ def run_muxlink(
     runtime["training"] = time.perf_counter() - start
 
     start = time.perf_counter()
-    target_examples = build_target_examples(
-        graph, dataset, n_workers=config.n_workers
-    )
-    likelihoods = score_examples(
-        model, [t.example for t in target_examples], config.train.batch_size
-    )
+    if config.score_prefetch > 0 and config.n_workers <= 1:
+        # Streamed pipeline: a producer thread extracts/featurizes the
+        # candidate subgraphs chunk by chunk while this thread scores the
+        # previous batches (bounded prefetch).  The batch partition — and
+        # therefore every likelihood — is identical to the serial path.
+        # With n_workers > 1 the serial path below runs instead:
+        # multiprocessing pools must fork from the main thread (forking
+        # from the producer while BLAS runs here is a deadlock hazard),
+        # and one pool over all candidates beats a pool per chunk.
+        target_examples: list = []
+
+        def chunks():
+            for group in iter_target_examples(
+                graph, dataset,
+                chunk_size=config.train.batch_size,
+            ):
+                target_examples.extend(group)
+                yield [t.example for t in group]
+
+        likelihoods = score_stream(
+            model, chunks(), config.train.batch_size,
+            prefetch=config.score_prefetch,
+        )
+    else:
+        target_examples = build_target_examples(
+            graph, dataset, n_workers=config.n_workers
+        )
+        likelihoods = score_examples(
+            model, [t.example for t in target_examples], config.train.batch_size
+        )
     runtime["testing"] = time.perf_counter() - start
 
     start = time.perf_counter()

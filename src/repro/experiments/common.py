@@ -75,6 +75,9 @@ class ExperimentScale:
         hd_patterns: random patterns for Hamming-distance runs.
         n_workers: subgraph-extraction worker processes passed to
             :class:`MuxLinkConfig` (overridable via ``REPRO_WORKERS``).
+        score_prefetch: in-flight batch budget of the streamed
+            extract→score pipeline passed to :class:`MuxLinkConfig`
+            (overridable via ``REPRO_SCORE_PREFETCH``; ``0`` = serial).
     """
 
     name: str
@@ -91,6 +94,7 @@ class ExperimentScale:
     patience: int | None = None
     hd_patterns: int = 10_000
     n_workers: int = 0
+    score_prefetch: int = 2
 
     def benchmarks(self) -> tuple[tuple[str, float, tuple[int, ...]], ...]:
         """``(name, scale, key_sizes)`` for every included benchmark."""
@@ -105,6 +109,9 @@ class ExperimentScale:
 
     def attack_config(self, seed: int = 0) -> MuxLinkConfig:
         workers = int(os.environ.get("REPRO_WORKERS", self.n_workers))
+        prefetch = int(
+            os.environ.get("REPRO_SCORE_PREFETCH", self.score_prefetch)
+        )
         return MuxLinkConfig(
             h=self.h,
             threshold=self.threshold,
@@ -116,6 +123,7 @@ class ExperimentScale:
             ),
             seed=seed,
             n_workers=workers,
+            score_prefetch=prefetch,
         )
 
 

@@ -28,7 +28,8 @@ from typing import Iterator, Sequence
 import numpy as np
 import scipy.sparse as sp
 
-from repro.nn import default_dtype
+from repro.nn import Workspace, default_dtype
+from repro.nn.sparse import BlockEll, SparseOp, csr_from_parts, spmm_backend
 
 __all__ = [
     "GraphExample",
@@ -103,6 +104,12 @@ class GraphBatch:
     features: np.ndarray
     node_offsets: np.ndarray  # (B + 1,) prefix sums
     labels: np.ndarray  # (B,)
+    #: Optional ``(N, c)`` column indices when every feature row is a
+    #: concatenation of one-hots (the paper's node-information matrix):
+    #: ``features[i]`` is then exactly ``sum_j onehot(feature_onehot[i, j])``.
+    #: Lets the first graph convolution replace its ``H @ W`` GEMM with c
+    #: row gathers of ``W``.  ``None`` when the structure is unknown.
+    feature_onehot: np.ndarray | None = None
 
     @property
     def n_graphs(self) -> int:
@@ -126,6 +133,17 @@ class GraphBatch:
     def segment_positions(self) -> np.ndarray:
         """Rank of each row within its graph's contiguous block, ``(N,)``."""
         return np.arange(self.n_nodes) - self.node_offsets[self.graph_ids]
+
+    @cached_property
+    def operator(self) -> SparseOp:
+        """The cached block-sparse engine view of ``norm_adj``.
+
+        Built once per batch and shared by every forward/backward pass, so
+        CSR/ELL format conversions never repeat per layer per step (see
+        :mod:`repro.nn.sparse`).  :class:`BatchAssembler` pre-seeds this
+        with stitched per-example layouts.
+        """
+        return SparseOp.from_csr(self.norm_adj)
 
 
 def build_batch(examples: Sequence[GraphExample]) -> GraphBatch:
@@ -194,6 +212,8 @@ class BatchAssembler:
     __slots__ = (
         "dtype", "sizes", "labels",
         "_data", "_indices", "_indptr_tail", "_nnz", "_features",
+        "_flat_features", "_node_starts", "_feature_cols",
+        "_ell_blocks", "_ell_t_blocks", "_scratch",
     )
 
     def __init__(self, examples: Sequence[GraphExample]):
@@ -207,7 +227,12 @@ class BatchAssembler:
         self._indices: list[np.ndarray] = []
         self._indptr_tail: list[np.ndarray] = []
         self._nnz = np.empty(len(examples), dtype=np.int64)
-        self._features: list[np.ndarray] = []
+        feature_blocks: list[np.ndarray] = []
+        # Per-example batched-ELL blocks, built on first use under the
+        # ell/numba spmm backends (see _ensure_ell_blocks).
+        self._ell_blocks: list[BlockEll] | None = None
+        self._ell_t_blocks: list[BlockEll] | None = None
+        self._scratch = Workspace()
         for i, example in enumerate(examples):
             operator = normalized_adjacency(example.n_nodes, example.edges)
             self._data.append(operator.data)
@@ -216,46 +241,183 @@ class BatchAssembler:
                 operator.indptr[1:].astype(np.int64, copy=False)
             )
             self._nnz[i] = operator.nnz
-            self._features.append(
+            feature_blocks.append(
                 example.features.astype(self.dtype, copy=False)
             )
+        # One flat feature arena; per-example entries are views into it, so
+        # a shuffled batch's feature matrix is one range gather instead of
+        # a 50-array concatenate, at no extra memory.
+        self._node_starts = np.concatenate(
+            [[0], np.cumsum(self.sizes)]
+        ).astype(np.int64)
+        if feature_blocks:
+            self._flat_features = np.concatenate(feature_blocks)
+        else:
+            self._flat_features = np.empty((0, 0), dtype=self.dtype)
+        self._features: list[np.ndarray] = [
+            self._flat_features[self._node_starts[i] : self._node_starts[i + 1]]
+            for i in range(len(examples))
+        ]
+        self._feature_cols = self._detect_onehot_columns()
+
+    def _detect_onehot_columns(self) -> np.ndarray | None:
+        """``(total_nodes, c)`` one-hot column indices, or ``None``.
+
+        The paper's node-information matrix is a concatenation of one-hot
+        blocks (gate type | DRNL | degree), so every row holds the same
+        small number of ones.  When that structure holds for the whole
+        split, the first graph convolution can replace its ``H @ W`` GEMM
+        with ``c`` row gathers of ``W`` (see ``graph_conv``).
+        """
+        flat = self._flat_features
+        if flat.size == 0:
+            return None
+        nonzero = flat != 0.0
+        counts = nonzero.sum(axis=1)
+        per_row = int(counts[0]) if counts.size else 0
+        if per_row < 1 or per_row > 4 or not (counts == per_row).all():
+            return None
+        if not (flat[nonzero] == 1.0).all():
+            return None
+        return np.nonzero(nonzero)[1].reshape(-1, per_row).astype(np.int64)
 
     def __len__(self) -> int:
         return len(self._data)
 
-    def assemble(self, index_order: Sequence[int]) -> GraphBatch:
-        """Fuse the examples selected by *index_order* into one batch."""
+    def _ensure_ell_blocks(self) -> None:
+        """Build every example's ELL (and transposed-ELL) block once.
+
+        Only the ell/numba backends need the layout; under the scipy
+        backend the assembler never pays for it.  Once built, any shuffled
+        batch's ELL operator is stitched from these blocks by pure array
+        copies — the layout cost is once per split, like the CSR parts.
+        """
+        if self._ell_blocks is not None:
+            return
+        self._ell_blocks = []
+        self._ell_t_blocks = []
+        for i, size in enumerate(self.sizes):
+            indptr = np.concatenate([[0], self._indptr_tail[i]])
+            block = csr_from_parts(
+                self._data[i], self._indices[i], indptr, (int(size), int(size))
+            )
+            self._ell_blocks.append(BlockEll.from_csr(block))
+            self._ell_t_blocks.append(BlockEll.from_csr(block.T.tocsr()))
+
+    def _stitch_ell(
+        self,
+        blocks: list[BlockEll],
+        index_order: np.ndarray,
+        offsets: np.ndarray,
+        total: int,
+    ) -> BlockEll:
+        """Fuse per-example ELL blocks into one block-diagonal layout.
+
+        Identical to ``BlockEll.from_csr`` over the assembled operator:
+        both pack each row's entries in CSR order and zero-pad to the
+        widest row of the batch.
+        """
+        width = max((blocks[i].width for i in index_order), default=0)
+        indices = np.zeros((total, width), dtype=np.int64)
+        values = np.zeros((total, width), dtype=self.dtype)
+        row = 0
+        for i, node_off in zip(index_order, offsets[:-1]):
+            block = blocks[i]
+            n_i, w_i = block.indices.shape
+            if w_i:
+                np.add(block.indices, node_off, out=indices[row : row + n_i, :w_i])
+                values[row : row + n_i, :w_i] = block.values
+            row += n_i
+        return BlockEll(indices, values, (total, total))
+
+    def assemble(
+        self, index_order: Sequence[int], reuse_buffers: bool = False
+    ) -> GraphBatch:
+        """Fuse the examples selected by *index_order* into one batch.
+
+        The CSR arrays are concatenated once and shifted in bulk (one
+        ``np.repeat`` per array instead of a per-example add), the scipy
+        matrix is built through the unchecked constructor, and the
+        resulting :class:`GraphBatch` carries a pre-seeded
+        :class:`~repro.nn.sparse.SparseOp` — stitched from the per-example
+        ELL blocks when the active spmm backend wants that layout.
+
+        With ``reuse_buffers=True`` the operator/feature arrays live in
+        assembler-owned scratch slots recycled call to call: the returned
+        batch **aliases** those buffers and is only valid until the next
+        reusing ``assemble``.  This is the trainer's step loop contract
+        (one batch in flight at a time); callers that retain batches must
+        keep the default.
+        """
         index_order = np.asarray(index_order, dtype=np.int64)
         if index_order.size == 0:
             raise ValueError("cannot batch zero graphs")
         sizes = self.sizes[index_order]
         offsets = np.concatenate([[0], np.cumsum(sizes)])
-        nnz_offsets = np.concatenate([[0], np.cumsum(self._nnz[index_order])])
-        data = np.concatenate([self._data[i] for i in index_order])
-        indices = np.concatenate(
-            [
-                self._indices[i] + node_off
-                for i, node_off in zip(index_order, offsets[:-1])
-            ]
-        )
-        indptr = np.concatenate(
-            [[0]]
-            + [
-                self._indptr_tail[i] + nnz_off
-                for i, nnz_off in zip(index_order, nnz_offsets[:-1])
-            ]
-        )
+        nnz = self._nnz[index_order]
+        nnz_offsets = np.concatenate([[0], np.cumsum(nnz)])
         total = int(offsets[-1])
-        norm_adj = sp.csr_matrix(
-            (data, indices, indptr), shape=(total, total), copy=False
+        total_nnz = int(nnz_offsets[-1])
+        if reuse_buffers:
+            scratch = self._scratch
+            data = np.concatenate(
+                [self._data[i] for i in index_order],
+                out=scratch.resident("assemble.data", (total_nnz,), self.dtype),
+            )
+            indices = np.concatenate(
+                [self._indices[i] for i in index_order],
+                out=scratch.resident("assemble.indices", (total_nnz,), np.int64),
+            )
+            indptr = scratch.resident("assemble.indptr", (total + 1,), np.int64)
+        else:
+            data = np.concatenate([self._data[i] for i in index_order])
+            indices = np.concatenate([self._indices[i] for i in index_order])
+            indptr = np.empty(total + 1, dtype=np.int64)
+        indices += np.repeat(offsets[:-1], nnz)
+        indptr[0] = 0
+        np.concatenate(
+            [self._indptr_tail[i] for i in index_order], out=indptr[1:]
         )
-        features = np.concatenate([self._features[i] for i in index_order])
-        return GraphBatch(
+        indptr[1:] += np.repeat(nnz_offsets[:-1], sizes)
+        norm_adj = csr_from_parts(data, indices, indptr, (total, total))
+        operator = SparseOp(data, indices, indptr, (total, total), csr=norm_adj)
+        if spmm_backend() in ("ell", "numba"):
+            self._ensure_ell_blocks()
+            operator._ell = self._stitch_ell(
+                self._ell_blocks, index_order, offsets, total
+            )
+            operator._ell_t = self._stitch_ell(
+                self._ell_t_blocks, index_order, offsets, total
+            )
+        # Stacked node rows of the selected examples, as flat-arena
+        # positions: one range-gather replaces a per-example concatenate.
+        row_positions = np.arange(total, dtype=np.int64) + np.repeat(
+            self._node_starts[index_order] - offsets[:-1], sizes
+        )
+        if reuse_buffers:
+            width = self._flat_features.shape[1]
+            features = np.take(
+                self._flat_features, row_positions, axis=0, mode="clip",
+                out=self._scratch.resident(
+                    "assemble.features", (total, width), self.dtype
+                ),
+            )
+        else:
+            features = self._flat_features[row_positions]
+        feature_onehot = (
+            self._feature_cols[row_positions]
+            if self._feature_cols is not None
+            else None
+        )
+        batch = GraphBatch(
             norm_adj=norm_adj,
             features=features,
             node_offsets=offsets,
             labels=self.labels[index_order],
+            feature_onehot=feature_onehot,
         )
+        batch.__dict__["operator"] = operator
+        return batch
 
 
 class BatchCache:
@@ -277,6 +439,11 @@ class BatchCache:
             build_batch(examples[start : start + batch_size])
             for start in range(0, len(examples), batch_size)
         ]
+        # Prebuild whatever layout the active spmm backend wants (ELL under
+        # ell/numba) so repeated evaluation/scoring epochs touch no
+        # conversions at all — once per split, like the batches themselves.
+        for batch in self.batches:
+            batch.operator.prepare()
 
     def __len__(self) -> int:
         return len(self.batches)

@@ -30,11 +30,12 @@ from repro.nn import (
     Linear,
     Module,
     Tensor,
-    concat,
+    Workspace,
     max_pool1d,
     no_grad,
     softmax,
     softmax_cross_entropy,
+    sortpool_conv,
 )
 
 __all__ = ["DGCNN", "choose_sortpool_k"]
@@ -91,7 +92,11 @@ class DGCNN(Module):
             GraphConv(cin, cout, rng)
             for cin, cout in zip((in_features,) + gc_channels[:-1], gc_channels)
         ]
+        self.gc_channels = tuple(gc_channels)
         self.node_width = int(sum(gc_channels))
+        # Forward workspace: the H^{1:L} concat buffer and the graph-conv
+        # scratch slots are recycled across steps (see ``forward``).
+        self._workspace = Workspace()
         self.conv1 = Conv1d(
             1, conv_channels[0], kernel_size=self.node_width,
             rng=rng, stride=self.node_width,
@@ -120,9 +125,24 @@ class DGCNN(Module):
         """
         scores = last_layer[:, -1]
         graph_ids = batch.graph_ids
-        # lexsort is stable and sorts by the last key first: primary
-        # graph_id, secondary descending score, ties by original index.
-        order = np.lexsort((-scores, graph_ids))
+        if scores.dtype == np.float32 and graph_ids.size:
+            # One stable radix-friendly uint64 sort instead of lexsort's
+            # two key passes.  The monotone bit trick maps float32 to
+            # uint32 preserving exact comparison order (adding +0.0 first
+            # collapses -0.0 onto +0.0, matching float equality); bitwise
+            # inversion reverses it for the descending-score key.  The
+            # resulting order is identical to
+            # ``np.lexsort((-scores, graph_ids))``, ties and all.
+            bits = (scores + np.float32(0.0)).view(np.uint32)
+            negative = (bits >> np.uint32(31)).astype(bool)
+            ascending = np.where(negative, ~bits, bits | np.uint32(0x80000000))
+            descending = ~ascending
+            combined = (graph_ids.astype(np.uint64) << np.uint64(32)) | descending
+            order = np.argsort(combined, kind="stable")
+        else:
+            # lexsort is stable and sorts by the last key first: primary
+            # graph_id, secondary descending score, ties by original index.
+            order = np.lexsort((-scores, graph_ids))
         # Sorted position j holds graph graph_ids[j] (grouping and group
         # sizes are unchanged by the sort), at within-graph rank
         # segment_positions[j].
@@ -133,21 +153,45 @@ class DGCNN(Module):
         return indices
 
     def forward(self, batch: GraphBatch) -> Tensor:
-        """Compute ``(n_graphs, 2)`` classification logits."""
+        """Compute ``(n_graphs, 2)`` classification logits.
+
+        Zero-alloc steady state: the graph convolutions run against the
+        batch's cached block-sparse operator and write into recycled
+        per-layer :meth:`~repro.nn.tensor.Workspace.resident` slots, and
+        the ``H^{1:L}`` concatenation never materializes — SortPooling's
+        row gather commutes with the column concat, so
+        :func:`~repro.nn.sortpool_conv` feeds each layer's gathered block
+        straight into its column slice of the first convolution's kernel.
+        Consequence of the buffer reuse: a forward's tape must be consumed
+        (``backward`` or discarded) before the same model's next forward —
+        the pattern of every training/eval loop here.
+        """
+        operator = batch.operator
+        workspace = self._workspace
         h = Tensor(batch.features)
+        dtype = h.data.dtype
+        n_nodes = batch.n_nodes
         layer_outputs: list[Tensor] = []
-        for layer in self.gc_layers:
-            h = layer(batch.norm_adj, h)
+        for i, (layer, width) in enumerate(zip(self.gc_layers, self.gc_channels)):
+            h = layer(
+                operator, h,
+                out=workspace.resident(f"dgcnn.gc{i}", (n_nodes, width), dtype),
+                workspace=workspace,
+                # Layer 1 only: the batcher's detected one-hot feature
+                # structure turns H @ W into a few row gathers of W.
+                feature_cols=getattr(batch, "feature_onehot", None)
+                if i == 0 else None,
+            )
             layer_outputs.append(h)
-        h_cat = concat(layer_outputs, axis=1)  # (N, node_width)
 
         indices = self._sortpool_indices(layer_outputs[-1].data, batch)
-        # Sortpool indices never repeat a row, so the gradient scatter is a
-        # direct assignment.
-        pooled = h_cat.gather_rows(indices, unique=True)  # (B*k, node_width)
-        pooled = pooled.reshape(batch.n_graphs, 1, self.k * self.node_width)
-
-        z = self.conv1(pooled).relu()  # (B, c1, k)
+        # SortPooling gather fused with the node-wide first convolution:
+        # the pooled H^{1:L} matrix never materializes (see sortpool_conv).
+        z = sortpool_conv(
+            layer_outputs, indices,
+            self.conv1.weight, self.conv1.bias, self.k,
+            workspace=workspace,
+        ).relu()  # (B, c1, k)
         z = max_pool1d(z, 2, 2)  # (B, c1, k//2)
         z = self.conv2(z).relu()  # (B, c2, k//2 - 4)
         z = z.reshape(batch.n_graphs, self.flat_width)

@@ -13,6 +13,7 @@ from repro.linkpred.dataset import (
     TargetExample,
     build_link_dataset,
     build_target_examples,
+    iter_target_examples,
 )
 from repro.linkpred.graph import AttackGraph, MuxTarget, extract_attack_graph
 from repro.linkpred.sampling import LinkSample, sample_links
@@ -28,6 +29,7 @@ from repro.linkpred.trainer import (
     Trainer,
     TrainHistory,
     score_examples,
+    score_stream,
     train_link_predictor,
 )
 
@@ -46,9 +48,11 @@ __all__ = [
     "TargetExample",
     "build_link_dataset",
     "build_target_examples",
+    "iter_target_examples",
     "TrainConfig",
     "Trainer",
     "TrainHistory",
     "train_link_predictor",
     "score_examples",
+    "score_stream",
 ]

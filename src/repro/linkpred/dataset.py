@@ -17,7 +17,7 @@ process contiguous chunks and results are reassembled in order).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -32,7 +32,13 @@ from repro.linkpred.subgraph import (
 )
 from repro.netlist import NUM_GATE_FEATURES
 
-__all__ = ["LinkDataset", "TargetExample", "build_link_dataset", "build_target_examples"]
+__all__ = [
+    "LinkDataset",
+    "TargetExample",
+    "build_link_dataset",
+    "build_target_examples",
+    "iter_target_examples",
+]
 
 
 _MAX_DEGREE_FEATURE = 8
@@ -232,6 +238,75 @@ class TargetExample:
     example: GraphExample
 
 
+def iter_target_examples(
+    graph: AttackGraph,
+    dataset: LinkDataset,
+    chunk_size: int | None = None,
+    n_workers: int = 0,
+) -> Iterator[list[TargetExample]]:
+    """Yield both candidate links of every key MUX, extracted lazily.
+
+    Produces exactly the :class:`TargetExample` sequence of
+    :func:`build_target_examples`, but in contiguous chunks of
+    ``chunk_size`` candidates: each chunk's enclosing subgraphs are
+    extracted and featurized only when the chunk is requested, so a
+    downstream scorer (:func:`repro.linkpred.trainer.score_stream`) can
+    overlap its GNN forwards with extraction on large designs.
+
+    ``chunk_size`` is rounded up to even so the (d0, d1) candidates of a
+    MUX stay in one chunk — they share the ``load`` endpoint, and the
+    per-chunk BFS cache dedupes that distance map between them.
+    ``None`` extracts everything in one chunk.
+
+    With ``n_workers > 1`` each chunk spins up (and tears down) its own
+    multiprocessing pool, so worker extraction only pays off with large
+    chunks — pass ``chunk_size=None`` (or thousands) for that combination.
+    Pools must be forked from the main thread: do not drive a
+    worker-backed iterator from :func:`repro.linkpred.score_stream`'s
+    producer thread (``run_muxlink`` streams only when ``n_workers <= 1``).
+    """
+    records = [
+        (target, select_value, driver, load)
+        for target in graph.targets
+        for driver, load, select_value in target.candidates()
+    ]
+    if chunk_size is None:
+        chunk_size = max(len(records), 1)
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    chunk_size += chunk_size % 2
+    for start in range(0, len(records), chunk_size):
+        chunk = records[start : start + chunk_size]
+        subgraphs = _extract_pairs(
+            graph,
+            [(driver, load) for _, _, driver, load in chunk],
+            dataset.h,
+            n_workers,
+        )
+        features = _features_batch(
+            subgraphs,
+            dataset.max_label,
+            dataset.use_drnl,
+            dataset.use_gate_types,
+            dataset.use_degree,
+        )
+        yield [
+            TargetExample(
+                target=target,
+                select_value=select_value,
+                example=GraphExample(
+                    n_nodes=sub.n_nodes,
+                    edges=sub.edges,
+                    features=feats,
+                    label=-1,
+                ),
+            )
+            for (target, select_value, _, _), sub, feats in zip(
+                chunk, subgraphs, features
+            )
+        ]
+
+
 def build_target_examples(
     graph: AttackGraph, dataset: LinkDataset, n_workers: int = 0
 ) -> list[TargetExample]:
@@ -240,38 +315,11 @@ def build_target_examples(
     Must use the *training* feature configuration (same ``max_label`` and
     blocks) so the model sees consistent input widths.  Both candidates of
     a MUX share the ``load`` endpoint, so batching them through the CSR
-    pipeline reuses that BFS between them.
+    pipeline reuses that BFS between them.  One-chunk convenience wrapper
+    over :func:`iter_target_examples`.
     """
-    records = [
-        (target, select_value, driver, load)
-        for target in graph.targets
-        for driver, load, select_value in target.candidates()
-    ]
-    subgraphs = _extract_pairs(
-        graph,
-        [(driver, load) for _, _, driver, load in records],
-        dataset.h,
-        n_workers,
-    )
-    features = _features_batch(
-        subgraphs,
-        dataset.max_label,
-        dataset.use_drnl,
-        dataset.use_gate_types,
-        dataset.use_degree,
-    )
     return [
-        TargetExample(
-            target=target,
-            select_value=select_value,
-            example=GraphExample(
-                n_nodes=sub.n_nodes,
-                edges=sub.edges,
-                features=feats,
-                label=-1,
-            ),
-        )
-        for (target, select_value, _, _), sub, feats in zip(
-            records, subgraphs, features
-        )
+        example
+        for chunk in iter_target_examples(graph, dataset, n_workers=n_workers)
+        for example in chunk
     ]

@@ -26,9 +26,11 @@ from __future__ import annotations
 
 import os
 import pickle
+import queue
+import threading
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Iterator, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -51,6 +53,7 @@ __all__ = [
     "Trainer",
     "train_link_predictor",
     "score_examples",
+    "score_stream",
 ]
 
 #: Paper batch size; also the fallback for :func:`score_examples` callers
@@ -158,25 +161,114 @@ def score_examples(
     model: DGCNN,
     examples: Sequence[GraphExample],
     batch_size: int | None = None,
+    cache: BatchCache | None = None,
 ) -> np.ndarray:
     """Likelihood of "link exists" for each example (paper step 5).
 
     ``batch_size`` defaults to :data:`DEFAULT_BATCH_SIZE`; callers with a
     :class:`TrainConfig` should pass ``config.batch_size`` so scoring
     chunks match the training configuration.
+
+    Like :func:`_evaluate`, an optional prebuilt *cache* (a
+    :class:`~repro.gnn.BatchCache` over the same examples) skips batch
+    construction entirely — repeated scoring of a fixed split then pays
+    the scipy/stacking cost exactly once, at cache build.
     """
-    if not examples:
+    n = cache.n_examples if cache is not None else len(examples)
+    if n == 0:
         return np.empty(0)
     if batch_size is None:
-        batch_size = DEFAULT_BATCH_SIZE
+        batch_size = cache.batch_size if cache is not None else DEFAULT_BATCH_SIZE
     if batch_size <= 0:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
     return np.concatenate(
         [
             model.predict_proba(batch)
-            for batch in _iter_batches(examples, batch_size)
+            for batch in _iter_batches(examples, batch_size, cache)
         ]
     )
+
+
+def score_stream(
+    model: DGCNN,
+    example_chunks: Iterable[Sequence[GraphExample]],
+    batch_size: int | None = None,
+    prefetch: int = 2,
+) -> np.ndarray:
+    """Score a stream of example chunks, overlapping production with GNN
+    forwards.
+
+    A producer thread drains *example_chunks* — doing whatever lazy work
+    the iterable encodes, typically target-subgraph extraction and
+    featurization (:func:`repro.linkpred.dataset.iter_target_examples`) —
+    regroups the examples into :data:`DEFAULT_BATCH_SIZE`-style batches
+    and pushes prebuilt :class:`~repro.gnn.GraphBatch` es through a
+    bounded queue while the caller's thread runs ``predict_proba``.  At
+    most *prefetch* batches are in flight, bounding memory on large
+    designs.  numpy/scipy release the GIL inside their kernels, so
+    extraction genuinely overlaps scoring.
+
+    Returns exactly what ``score_examples(model, concatenated_chunks,
+    batch_size)`` returns — the batch partition is identical, so scores
+    are too.  ``prefetch <= 0`` degrades to that serial call.
+    """
+    if batch_size is None:
+        batch_size = DEFAULT_BATCH_SIZE
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    if prefetch <= 0:
+        merged = [e for chunk in example_chunks for e in chunk]
+        return score_examples(model, merged, batch_size)
+
+    feed: queue.Queue = queue.Queue(maxsize=prefetch)
+    done = object()
+    failure: list[BaseException] = []
+    abort = threading.Event()
+
+    def produce() -> None:
+        try:
+            pending: list[GraphExample] = []
+            for chunk in example_chunks:
+                pending.extend(chunk)
+                while len(pending) >= batch_size and not abort.is_set():
+                    feed.put(build_batch(pending[:batch_size]))
+                    del pending[:batch_size]
+                if abort.is_set():
+                    return
+            if pending and not abort.is_set():
+                feed.put(build_batch(pending))
+        except BaseException as exc:  # surfaced on the consumer thread
+            failure.append(exc)
+        finally:
+            feed.put(done)
+
+    producer = threading.Thread(
+        target=produce, name="score-stream-producer", daemon=True
+    )
+    producer.start()
+    scores: list[np.ndarray] = []
+    try:
+        while True:
+            item = feed.get()
+            if item is done:
+                break
+            scores.append(model.predict_proba(item))
+    finally:
+        # On consumer failure, unblock a producer waiting on a full queue
+        # so join() cannot deadlock.
+        abort.set()
+        while True:
+            try:
+                if feed.get_nowait() is done:
+                    break
+            except queue.Empty:
+                if not producer.is_alive():
+                    break
+                time.sleep(0.005)
+        producer.join()
+    if failure:
+        raise failure[0]
+    return np.concatenate(scores) if scores else np.empty(0)
 
 
 _CHECKPOINT_VERSION = 1
@@ -265,8 +357,10 @@ class Trainer:
         n_batches = 0
         order = self.rng.permutation(len(self.train_assembler))
         for start in range(0, len(order), config.batch_size):
+            # One batch in flight at a time, so the assembler's recycled
+            # scratch buffers are safe (reuse_buffers contract).
             batch = self.train_assembler.assemble(
-                order[start : start + config.batch_size]
+                order[start : start + config.batch_size], reuse_buffers=True
             )
             self.optimizer.zero_grad()
             loss = self.model.loss(batch)

@@ -4,6 +4,13 @@ Runtime dtype policy: float32 by default, switchable to float64 via the
 ``REPRO_DTYPE`` environment variable or :func:`set_default_dtype` /
 :func:`dtype_scope` (gradient checks need float64).  Inference paths run
 under :func:`no_grad` to skip tape recording entirely.
+
+Sparse kernel policy: the graph convolutions run on the block-sparse
+engine in :mod:`repro.nn.sparse`; ``REPRO_SPMM`` (or
+:func:`set_spmm_backend` / :func:`spmm_scope`) selects the kernel family —
+``scipy`` (default), ``ell`` (batched-ELL numpy) or ``numba`` (JIT, falls
+back to ``ell`` when numba is missing).  All backends are bit-identical
+in float64.
 """
 
 from repro.nn.functional import (
@@ -18,9 +25,22 @@ from repro.nn.functional import (
     segment_sum,
     softmax,
     softmax_cross_entropy,
+    gather_stack,
+    sortpool_conv,
+    stack_columns,
 )
 from repro.nn.layers import Conv1d, Dropout, GraphConv, Linear, Module
 from repro.nn.optim import SGD, Adam
+from repro.nn.sparse import (
+    BlockEll,
+    SparseOp,
+    as_sparse_op,
+    csr_from_parts,
+    numba_available,
+    set_spmm_backend,
+    spmm_backend,
+    spmm_scope,
+)
 from repro.nn.tensor import (
     Tensor,
     Workspace,
@@ -53,7 +73,18 @@ __all__ = [
     "max_pool1d",
     "dropout",
     "graph_conv",
+    "gather_stack",
+    "sortpool_conv",
+    "stack_columns",
     "gather_rows",
+    "BlockEll",
+    "SparseOp",
+    "as_sparse_op",
+    "csr_from_parts",
+    "numba_available",
+    "spmm_backend",
+    "set_spmm_backend",
+    "spmm_scope",
     "segment_sum",
     "segment_mean",
     "segment_max",

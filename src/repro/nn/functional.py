@@ -13,7 +13,6 @@ steps through a :class:`repro.nn.tensor.Workspace`.
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.nn.tensor import Tensor, Workspace, is_grad_enabled
 
@@ -22,6 +21,9 @@ __all__ = [
     "max_pool1d",
     "dropout",
     "graph_conv",
+    "gather_stack",
+    "sortpool_conv",
+    "stack_columns",
     "gather_rows",
     "segment_sum",
     "segment_mean",
@@ -64,26 +66,27 @@ def conv1d(
         raise ValueError(
             f"kernel {k} with stride {stride} does not fit length {length}"
         )
+    if c_in == 1 and stride == k and x.data.flags.c_contiguous:
+        return _conv1d_flat(x, weight, bias, k, t_out)
 
-    # im2col: (batch, c_in * k, t_out)
+    # im2col in channel-major layout: (c_in * k, batch * t_out).  One flat
+    # GEMM then serves the whole batch — no per-example batched-GEMM loop,
+    # and the weight/input gradients are single GEMMs too.
     dtype = x.data.dtype
+    f_width = c_in * k
     if workspace is not None:
-        cols = workspace.acquire((batch, c_in * k, t_out), dtype)
+        cols = workspace.acquire((f_width, batch * t_out), dtype)
     else:
-        cols = np.empty((batch, c_in * k, t_out), dtype=dtype)
-    if stride == k:
-        # Non-overlapping taps (the DGCNN's first conv, where k is the
-        # whole node width): im2col is a single transpose instead of a
-        # k-iteration strided-copy loop.
-        windows = x.data[:, :, : t_out * k].reshape(batch, c_in, t_out, k)
-        cols.reshape(batch, k, c_in, t_out)[...] = windows.transpose(0, 3, 1, 2)
-    else:
-        for tap in range(k):
-            segment = x.data[:, :, tap : tap + stride * t_out : stride]
-            cols[:, tap * c_in : (tap + 1) * c_in, :] = segment
-    w2 = weight.data.transpose(0, 2, 1).reshape(c_out, k * c_in)
-    # Batched GEMM (BLAS) rather than einsum: (c_out, F) @ (batch, F, t_out).
-    out = np.matmul(w2, cols)
+        cols = np.empty((f_width, batch * t_out), dtype=dtype)
+    cols4 = cols.reshape(k, c_in, batch, t_out)
+    for tap in range(k):
+        segment = x.data[:, :, tap : tap + stride * t_out : stride]
+        cols4[tap] = segment.transpose(1, 0, 2)
+    w2 = weight.data.transpose(0, 2, 1).reshape(c_out, f_width)
+    out_f = w2 @ cols  # (c_out, batch * t_out)
+    out = np.ascontiguousarray(
+        out_f.reshape(c_out, batch, t_out).transpose(1, 0, 2)
+    )
     out += bias.data[None, :, None]
 
     recording = is_grad_enabled() and (
@@ -101,33 +104,69 @@ def conv1d(
     released = False
 
     def backward(grad: np.ndarray) -> None:
-        # grad: (batch, c_out, t_out)
+        # grad: (batch, c_out, t_out) -> channel-major (c_out, batch * t_out)
         nonlocal released
+        g_f = np.ascontiguousarray(grad.transpose(1, 0, 2)).reshape(c_out, -1)
         if bias.requires_grad:
-            bias._accumulate(grad.sum(axis=(0, 2)))
+            bias._accumulate_owned(g_f.sum(axis=1))
         if weight.requires_grad:
-            gw2 = np.tensordot(grad, cols, axes=([0, 2], [0, 2]))
-            weight._accumulate(
+            gw2 = g_f @ cols.T
+            weight._accumulate_owned(
                 gw2.reshape(c_out, k, c_in).transpose(0, 2, 1)
             )
         if x.requires_grad:
-            gcols = np.matmul(w2.T, grad)
+            gcols4 = (w2.T @ g_f).reshape(k, c_in, batch, t_out)
             gx = np.zeros_like(x.data)
-            if stride == k:
-                # Inverse of the transpose fast path above: one scatter.
-                gx[:, :, : t_out * k] = (
-                    gcols.reshape(batch, k, c_in, t_out)
-                    .transpose(0, 2, 3, 1)
-                    .reshape(batch, c_in, t_out * k)
-                )
-            else:
-                for tap in range(k):
-                    seg = gcols[:, tap * c_in : (tap + 1) * c_in, :]
-                    gx[:, :, tap : tap + stride * t_out : stride] += seg
+            for tap in range(k):
+                seg = gcols4[tap].transpose(1, 0, 2)
+                gx[:, :, tap : tap + stride * t_out : stride] += seg
             x._accumulate_owned(gx)
         if workspace is not None and not released:
             released = True
             workspace.release(cols)
+
+    return Tensor._make(out, (x, weight, bias), backward)
+
+
+def _conv1d_flat(
+    x: Tensor, weight: Tensor, bias: Tensor, k: int, t_out: int
+) -> Tensor:
+    """Single-channel, non-overlapping convolution as one flat GEMM.
+
+    With ``c_in == 1`` and ``stride == k`` (the DGCNN's first convolution,
+    whose kernel spans a whole node's feature row) every output position
+    is an independent k-tap dot product, so the op *is* a dense layer:
+    ``(batch * t_out, k) @ (k, c_out)``.  No im2col buffer, no batched
+    GEMM loop, and both weight and input gradients are single GEMMs too.
+    """
+    batch = x.shape[0]
+    c_out = weight.shape[0]
+    length = x.shape[2]
+    windows = x.data.reshape(batch, -1)[:, : t_out * k].reshape(-1, k)
+    w2 = weight.data.reshape(c_out, k)
+    out2 = windows @ w2.T  # (batch * t_out, c_out)
+    out2 += bias.data[None, :]
+    out = np.ascontiguousarray(
+        out2.reshape(batch, t_out, c_out).transpose(0, 2, 1)
+    )
+
+    def backward(grad: np.ndarray) -> None:
+        # grad: (batch, c_out, t_out) -> flat (batch * t_out, c_out)
+        g2 = np.ascontiguousarray(grad.transpose(0, 2, 1)).reshape(-1, c_out)
+        if bias.requires_grad:
+            bias._accumulate_owned(g2.sum(axis=0))
+        if weight.requires_grad:
+            weight._accumulate_owned((g2.T @ windows).reshape(c_out, 1, k))
+        if x.requires_grad:
+            gx_flat = g2 @ w2  # (batch * t_out, k)
+            if t_out * k == length:
+                gx = gx_flat.reshape(batch, 1, length)
+            else:
+                gx = np.zeros_like(x.data)
+                gx.reshape(batch, -1)[:, : t_out * k] = gx_flat.reshape(
+                    batch, -1
+                )
+            x._accumulate_owned(gx)
 
     return Tensor._make(out, (x, weight, bias), backward)
 
@@ -140,17 +179,34 @@ def max_pool1d(x: Tensor, size: int, stride: int | None = None) -> Tensor:
     if t_out < 1:
         raise ValueError(f"pool size {size} does not fit length {length}")
 
-    windows = np.empty((batch, channels, t_out, size), dtype=x.data.dtype)
-    for tap in range(size):
-        windows[:, :, :, tap] = x.data[:, :, tap : tap + stride * t_out : stride]
-    arg = windows.argmax(axis=3)
-    out = np.take_along_axis(windows, arg[..., None], axis=3)[..., 0]
+    if size == 2 and stride == 2:
+        # The DGCNN's pool: a two-way elementwise maximum beats the
+        # windows/argmax/take_along_axis machinery by an order of
+        # magnitude at these shapes.  argmax breaks ties toward the first
+        # tap, matched here by the strict comparison.
+        first = x.data[:, :, 0 : 2 * t_out : 2]
+        second = x.data[:, :, 1 : 2 * t_out : 2]
+        out = np.maximum(first, second)
+        arg = second > first
+    else:
+        windows = np.empty((batch, channels, t_out, size), dtype=x.data.dtype)
+        for tap in range(size):
+            windows[:, :, :, tap] = x.data[
+                :, :, tap : tap + stride * t_out : stride
+            ]
+        arg = windows.argmax(axis=3)
+        out = np.take_along_axis(windows, arg[..., None], axis=3)[..., 0]
 
     def backward(grad: np.ndarray) -> None:
         # Always C-ordered (zeros_like would inherit an F-ordered layout,
         # breaking the flat-index scatter below).
         gx = np.zeros(x.data.shape, dtype=x.data.dtype)
-        if stride >= size:
+        if size == 2 and stride == 2:
+            # Two masked stores instead of flat-index arithmetic: each
+            # window routes its gradient to whichever tap won the max.
+            np.copyto(gx[:, :, 0 : 2 * t_out : 2], grad, where=~arg)
+            np.copyto(gx[:, :, 1 : 2 * t_out : 2], grad, where=arg)
+        elif stride >= size:
             # Non-overlapping windows (the DGCNN case): every input
             # position feeds at most one window, so the scatter is a
             # direct flat-index assignment — no ufunc.at.
@@ -190,37 +246,288 @@ def dropout(
     )
 
     def backward(grad: np.ndarray) -> None:
-        x._accumulate(grad * mask)
+        x._accumulate_owned(grad * mask)
 
     return Tensor._make(x.data * mask, (x,), backward)
 
 
-def graph_conv(norm_adj: sp.spmatrix, h: Tensor, weight: Tensor) -> Tensor:
+def graph_conv(
+    norm_adj,
+    h: Tensor,
+    weight: Tensor,
+    out: np.ndarray | None = None,
+    workspace: Workspace | None = None,
+    feature_cols: np.ndarray | None = None,
+) -> Tensor:
     """Fused DGCNN graph convolution ``tanh( A (H W) )`` (paper Eq. 4).
 
-    One autograd node instead of three (matmul → spmm → tanh): the tanh is
-    applied in place on the sparse-product output, the ``H W`` intermediate
-    is not retained, and the backward pass shares the ``A^T g`` product
-    between both parents' gradients.  Bit-identical to the unfused
-    composition — the same three numpy/scipy kernels run in the same order.
+    One autograd node instead of three (matmul → spmm → tanh), with the
+    sparse products running through the block-sparse engine
+    (:mod:`repro.nn.sparse`): the operator's CSR/ELL layouts are cached on
+    the :class:`~repro.nn.sparse.SparseOp`, so passing a batch's cached
+    operator (``GraphBatch.operator``) converts formats once per batch
+    instead of once per layer per step, and the backward transpose product
+    never materializes ``A^T``.
+
+    Args:
+        norm_adj: the normalized operator — a
+            :class:`~repro.nn.sparse.SparseOp` (cached forms reused) or
+            any scipy sparse matrix (wrapped per call).
+        h: ``(N, c_in)`` node features.
+        weight: ``(c_in, c_out)`` layer weight.
+        out: optional destination for the tanh output — e.g. a column
+            slice of a preassembled ``H^{1:L}`` buffer (may be strided).
+            When given, the returned tensor's data *is* this view.
+        workspace: optional scratch pool; the ``H W`` product, the
+            pre-activation and the backward's two scratch matrices then
+            live in recycled :meth:`~repro.nn.tensor.Workspace.resident`
+            slots, making steady-state steps allocation-free.
+        feature_cols: optional ``(N, c)`` one-hot column indices proving
+            ``h[i] == sum_j onehot(feature_cols[i, j])`` (the batcher's
+            detected node-information structure): the ``H W`` product is
+            then ``c`` row gathers of ``W`` instead of a GEMM.  Gradients
+            are computed from the dense ``h`` as usual; results differ
+            from the GEMM only in floating-point summation order.
+
+    Bit-identical to the unfused scipy composition — the same kernels run
+    in the same order under every ``REPRO_SPMM`` backend (the
+    ``feature_cols`` shortcut reorders the ``H W`` summation and is opt-in).
     """
-    matrix = norm_adj.tocsr()
-    out = matrix @ (h.data @ weight.data)
-    np.tanh(out, out=out)
+    from repro.nn.sparse import as_sparse_op
+
+    op = as_sparse_op(norm_adj)
+    n, c_out = h.shape[0], weight.shape[1]
+    dtype = np.result_type(h.data.dtype, weight.data.dtype)
+    if workspace is not None:
+        hw_buf = workspace.resident("graph_conv.hw", (n, c_out), dtype)
+        if feature_cols is not None:
+            np.take(
+                weight.data, feature_cols[:, 0], axis=0, out=hw_buf,
+                mode="clip",
+            )
+            for j in range(1, feature_cols.shape[1]):
+                hw_buf += weight.data[feature_cols[:, j]]
+            hw = hw_buf
+        else:
+            hw = np.matmul(h.data, weight.data, out=hw_buf)
+        z = op.matmul(
+            hw, out=workspace.resident("graph_conv.z", (n, c_out), dtype)
+        )
+    elif feature_cols is not None:
+        hw = weight.data[feature_cols[:, 0]].copy()
+        for j in range(1, feature_cols.shape[1]):
+            hw += weight.data[feature_cols[:, j]]
+        z = op.matmul(hw)
+    else:
+        z = op.matmul(h.data @ weight.data)
+    if out is None:
+        # Without a destination the pre-activation is (or must become) a
+        # private array; tanh runs in place on it.
+        if workspace is not None:
+            out_data = np.tanh(z)
+        else:
+            out_data = np.tanh(z, out=z)
+    else:
+        out_data = out
+        np.tanh(z, out=out_data)
 
     def backward(grad: np.ndarray) -> None:
         # d tanh: g' = grad * (1 - out^2); then dH = (A^T g') W^T and
         # dW = H^T (A^T g').  One scratch array serves the whole chain.
-        gt = np.multiply(out, out)
+        if workspace is not None:
+            gt = workspace.resident(
+                "graph_conv.gt", out_data.shape, out_data.dtype
+            )
+            np.multiply(out_data, out_data, out=gt)
+        else:
+            gt = np.multiply(out_data, out_data)
         np.subtract(1.0, gt, out=gt)
         np.multiply(grad, gt, out=gt)
-        ga = matrix.T @ gt
+        ga = op.matmul_t(
+            gt,
+            out=workspace.resident("graph_conv.ga", gt.shape, gt.dtype)
+            if workspace is not None
+            else None,
+        )
         if weight.requires_grad:
-            weight._accumulate(h.data.T @ ga)
+            weight._accumulate_owned(h.data.T @ ga)
         if h.requires_grad:
-            h._accumulate_owned(ga @ weight.data.T)
+            h._accumulate_owned(np.matmul(ga, weight.data.T))
 
-    return Tensor._make(out, (h, weight), backward)
+    return Tensor._make(out_data, (h, weight), backward)
+
+
+def gather_stack(
+    tensors: list[Tensor], indices: np.ndarray, buffer: np.ndarray
+) -> Tensor:
+    """Row-gather several tensors into column blocks of one buffer.
+
+    One autograd node computing ``concat([t[indices] for t in tensors],
+    axis=1)`` with ``-1`` indices yielding zero rows — the SortPooling
+    gather of the DGCNN, exploiting that gathering a concatenation equals
+    concatenating the gathers.  The shared index masks are computed once
+    (not per layer), rows are gathered with integer indexing (no strided
+    boolean writes) and the result lives in the caller's *buffer*, so the
+    ``H^{1:L}`` concatenation never materializes at node size.
+
+    Indices must not repeat (SortPooling guarantees it): the gradient
+    scatter is a direct assignment, and each input receives a freshly
+    owned gradient array.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    valid_rows = np.nonzero(indices >= 0)[0]
+    source_rows = indices[valid_rows]
+    all_valid = valid_rows.shape[0] == indices.shape[0]
+    widths = [t.shape[1] for t in tensors]
+    offsets = np.cumsum([0] + widths)
+    if buffer.shape != (indices.shape[0], offsets[-1]):
+        raise ValueError(
+            f"buffer shape {buffer.shape} does not match "
+            f"({indices.shape[0]}, {offsets[-1]})"
+        )
+    safe = indices if all_valid else np.maximum(indices, 0)
+    for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+        buffer[:, start:stop] = t.data[safe]
+    if not all_valid:
+        buffer[indices < 0] = 0.0
+
+    def backward(grad: np.ndarray) -> None:
+        rows = grad if all_valid else grad[valid_rows]
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            out = np.zeros_like(t.data)
+            out[source_rows] = rows[:, start:stop]
+            t._accumulate_owned(out)
+
+    return Tensor._make(buffer, tuple(tensors), backward)
+
+
+def sortpool_conv(
+    tensors: list[Tensor],
+    indices: np.ndarray,
+    weight: Tensor,
+    bias: Tensor,
+    k: int,
+    workspace: Workspace | None = None,
+) -> Tensor:
+    """SortPooling gather fused with the node-wide first convolution.
+
+    Equivalent to gathering the per-layer outputs into the pooled
+    ``H^{1:L}`` matrix, reshaping to ``(B, 1, k * width)`` and running the
+    stride-``width`` convolution — but the concatenation never
+    materializes: each layer's gathered block multiplies its own column
+    slice of the kernel and the partial products accumulate, so the op
+    runs L narrow GEMMs over contiguous arrays instead of strided
+    buffer writes plus one wide GEMM.  ``-1`` indices denote padding rows
+    (graphs smaller than k): their outputs are exactly ``bias``, and no
+    gradient flows through them — identical to the unfused composition up
+    to BLAS summation order inside the GEMMs.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    rows = indices.shape[0]
+    if rows % k:
+        raise ValueError(f"{rows} pooled rows do not tile into k={k}")
+    n_graphs = rows // k
+    c_out = weight.shape[0]
+    width = weight.shape[2]
+    if weight.shape[1] != 1 or width != sum(t.shape[1] for t in tensors):
+        raise ValueError(
+            f"kernel {weight.shape} does not span layer widths "
+            f"{[t.shape[1] for t in tensors]}"
+        )
+    valid_rows = np.nonzero(indices >= 0)[0]
+    all_valid = valid_rows.shape[0] == rows
+    source_rows = indices[valid_rows]
+    safe = indices if all_valid else np.maximum(indices, 0)
+    invalid_rows = None if all_valid else np.nonzero(indices < 0)[0]
+
+    w2 = weight.data.reshape(c_out, width)
+    dtype = np.result_type(tensors[0].data.dtype, w2.dtype)
+    if workspace is not None:
+        acc = workspace.resident("sortpool_conv.acc", (rows, c_out), dtype)
+        part = workspace.resident("sortpool_conv.part", (rows, c_out), dtype)
+    else:
+        acc = np.empty((rows, c_out), dtype=dtype)
+        part = np.empty((rows, c_out), dtype=dtype)
+    # Contiguous per-layer kernel blocks: BLAS consumes them (and their
+    # transposes) directly, where strided column slices of w2 would force
+    # internal copies on every GEMM.
+    kernel_blocks: list[np.ndarray] = []
+    column = 0
+    for t in tensors:
+        c = t.shape[1]
+        kernel_blocks.append(np.ascontiguousarray(w2[:, column : column + c]))
+        column += c
+    gathered: list[np.ndarray] = []
+    for i, t in enumerate(tensors):
+        c = t.shape[1]
+        if workspace is not None:
+            # mode="clip" skips per-element bounds checks (safe is already
+            # clipped) — measurably faster than the default "raise" path.
+            block = np.take(
+                t.data, safe, axis=0, mode="clip",
+                out=workspace.resident(f"sortpool_conv.g{i}", (rows, c), dtype),
+            )
+        else:
+            block = t.data[safe]
+        if invalid_rows is not None:
+            # Zero padding rows so backward weight grads stay exact.
+            block[invalid_rows] = 0.0
+        gathered.append(block)
+        if i == 0:
+            np.matmul(block, kernel_blocks[i].T, out=acc)
+        else:
+            np.matmul(block, kernel_blocks[i].T, out=part)
+            acc += part
+    acc += bias.data[None, :]
+    out = np.ascontiguousarray(acc.reshape(n_graphs, k, c_out).transpose(0, 2, 1))
+
+    def backward(grad: np.ndarray) -> None:
+        # grad: (B, c_out, k) -> row-major (B * k, c_out)
+        g2 = np.ascontiguousarray(grad.transpose(0, 2, 1)).reshape(rows, c_out)
+        if bias.requires_grad:
+            bias._accumulate_owned(g2.sum(axis=0))
+        if weight.requires_grad:
+            gw2 = np.empty((c_out, width), dtype=g2.dtype)
+            col = 0
+            for block in gathered:
+                c = block.shape[1]
+                gw2[:, col : col + c] = g2.T @ block
+                col += c
+            weight._accumulate_owned(gw2.reshape(c_out, 1, width))
+        for t, block, kernel_block in zip(tensors, gathered, kernel_blocks):
+            if t.requires_grad:
+                gp = g2 @ kernel_block  # (rows, c)
+                scattered = np.zeros_like(t.data)
+                if all_valid:
+                    scattered[source_rows] = gp
+                else:
+                    scattered[source_rows] = gp[valid_rows]
+                t._accumulate_owned(scattered)
+
+    return Tensor._make(out, tuple(tensors) + (weight, bias), backward)
+
+
+def stack_columns(tensors: list[Tensor], data: np.ndarray) -> Tensor:
+    """Wrap a preassembled column-stacked buffer as an axis-1 concat node.
+
+    *data* is a ``(N, sum(widths))`` buffer whose column blocks were
+    written in place by the producers of *tensors* (each tensor's data is
+    a view into it), so the forward pass is free — no
+    :func:`repro.nn.tensor.concat` copy.  The gradient splits back to the
+    inputs exactly like ``concat``'s.
+    """
+    sizes = [t.shape[1] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+    if data.shape[1] != offsets[-1]:
+        raise ValueError(
+            f"buffer has {data.shape[1]} columns, tensors cover {offsets[-1]}"
+        )
+
+    def backward(grad: np.ndarray) -> None:
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            t._accumulate(grad[:, start:stop])
+
+    return Tensor._make(data, tuple(tensors), backward)
 
 
 def gather_rows(x: Tensor, indices: np.ndarray, unique: bool = False) -> Tensor:

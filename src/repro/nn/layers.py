@@ -9,7 +9,6 @@ checkpoints round-trip across dtype modes.
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.nn.functional import conv1d, dropout, graph_conv
 from repro.nn.tensor import Tensor, Workspace
@@ -141,7 +140,10 @@ class GraphConv(Module):
     Computes ``H' = tanh( D^-1 (A + I) H W )`` through the fused
     :func:`repro.nn.functional.graph_conv` kernel; the normalized operator
     ``D^-1 (A + I)`` is precomputed by the batcher and passed as a constant
-    sparse matrix.
+    — ideally a cached :class:`~repro.nn.sparse.SparseOp`
+    (``GraphBatch.operator``) so layers share one format conversion per
+    batch.  ``out``/``workspace`` forward straight to the kernel (see
+    :func:`repro.nn.functional.graph_conv`).
     """
 
     def __init__(self, in_channels: int, out_channels: int, rng: np.random.Generator):
@@ -149,5 +151,15 @@ class GraphConv(Module):
             _glorot(rng, in_channels, out_channels), requires_grad=True
         )
 
-    def __call__(self, norm_adj: sp.spmatrix, h: Tensor) -> Tensor:
-        return graph_conv(norm_adj, h, self.weight)
+    def __call__(
+        self,
+        norm_adj,
+        h: Tensor,
+        out: np.ndarray | None = None,
+        workspace: Workspace | None = None,
+        feature_cols: np.ndarray | None = None,
+    ) -> Tensor:
+        return graph_conv(
+            norm_adj, h, self.weight,
+            out=out, workspace=workspace, feature_cols=feature_cols,
+        )

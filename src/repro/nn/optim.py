@@ -41,6 +41,13 @@ class Adam:
     ``load_state_dict`` round-trip the step counter and moment estimates,
     which the :class:`repro.linkpred.trainer.Trainer` persists in its
     checkpoints.
+
+    The moments, scratch buffers and a gradient staging area live in one
+    contiguous arena with per-parameter views: the update arithmetic runs
+    as ~15 whole-arena ufunc calls per step instead of ~13 per parameter,
+    so ufunc dispatch stops dominating the step on small-parameter models.
+    Elementwise ops over a concatenation are elementwise ops — the fused
+    step is bit-identical to the textbook per-parameter formulation.
     """
 
     def __init__(
@@ -55,41 +62,79 @@ class Adam:
         self.beta1, self.beta2 = betas
         self.eps = eps
         self.t = 0
-        self._m = [np.zeros_like(p.data) for p in self.params]
-        self._v = [np.zeros_like(p.data) for p in self.params]
-        # Scratch buffers reused every step (largest parameter shape wins
-        # nothing here — one pair per parameter keeps shapes exact).
-        self._buf_a = [np.empty_like(p.data) for p in self.params]
-        self._buf_b = [np.empty_like(p.data) for p in self.params]
+        sizes = [p.data.size for p in self.params]
+        self._offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+        dtypes = {p.data.dtype for p in self.params}
+        self._dtype = self.params[0].data.dtype if self.params else np.float64
+        self._fused = len(dtypes) <= 1
+        if self._fused:
+            total = int(self._offsets[-1]) if self.params else 0
+            self._fm = np.zeros(total, dtype=self._dtype)
+            self._fv = np.zeros(total, dtype=self._dtype)
+            self._fg = np.empty(total, dtype=self._dtype)
+            self._fa = np.empty(total, dtype=self._dtype)
+            self._fb = np.empty(total, dtype=self._dtype)
+            # Per-parameter views over the arenas (the state_dict unit).
+            self._m = [self._param_view(self._fm, i) for i in range(len(self.params))]
+            self._v = [self._param_view(self._fv, i) for i in range(len(self.params))]
+            self._buf_a = self._buf_b = None
+        else:
+            # Mixed parameter dtypes: no shared arena — keep per-parameter
+            # moments and scratch in each parameter's own dtype, exactly
+            # like the per-parameter formulation.
+            self._m = [np.zeros_like(p.data) for p in self.params]
+            self._v = [np.zeros_like(p.data) for p in self.params]
+            self._buf_a = [np.empty_like(p.data) for p in self.params]
+            self._buf_b = [np.empty_like(p.data) for p in self.params]
+
+    def _param_view(self, arena: np.ndarray, i: int) -> np.ndarray:
+        start, stop = self._offsets[i], self._offsets[i + 1]
+        return arena[start:stop].reshape(self.params[i].data.shape)
 
     def step(self) -> None:
         self.t += 1
+        if self._fused and all(p.grad is not None for p in self.params):
+            self._step_fused()
+            return
+        for i, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            if self._fused:  # some grads missing: arena slices as scratch
+                a = self._param_view(self._fa, i)
+                b = self._param_view(self._fb, i)
+            else:
+                a, b = self._buf_a[i], self._buf_b[i]
+            self._update(param, param.grad, self._m[i], self._v[i], a, b)
+
+    def _step_fused(self) -> None:
+        for i, param in enumerate(self.params):
+            self._param_view(self._fg, i)[...] = param.grad
+        self._update(None, self._fg, self._fm, self._fv, self._fa, self._fb)
+        for i, param in enumerate(self.params):
+            param.data -= self._param_view(self._fb, i)
+
+    def _update(self, param, grad, m, v, a, b) -> None:
         b1, b2 = self.beta1, self.beta2
         c1 = 1 - b1**self.t
         c2 = 1 - b2**self.t
-        for i, param in enumerate(self.params):
-            grad = param.grad
-            if grad is None:
-                continue
-            m, v = self._m[i], self._v[i]
-            a, b = self._buf_a[i], self._buf_b[i]
-            # m = b1 * m + (1 - b1) * grad
-            np.multiply(m, b1, out=m)
-            np.multiply(grad, 1 - b1, out=a)
-            m += a
-            # v = b2 * v + (1 - b2) * grad**2
-            np.multiply(v, b2, out=v)
-            np.multiply(grad, grad, out=a)
-            a *= 1 - b2
-            v += a
-            # param -= lr * (m / c1) / (sqrt(v / c2) + eps), evaluated in
-            # the same operation order as the allocating formulation.
-            np.divide(v, c2, out=a)
-            np.sqrt(a, out=a)
-            a += self.eps
-            np.divide(m, c1, out=b)
-            b *= self.lr
-            b /= a
+        # m = b1 * m + (1 - b1) * grad
+        np.multiply(m, b1, out=m)
+        np.multiply(grad, 1 - b1, out=a)
+        m += a
+        # v = b2 * v + (1 - b2) * grad**2
+        np.multiply(v, b2, out=v)
+        np.multiply(grad, grad, out=a)
+        a *= 1 - b2
+        v += a
+        # update = lr * (m / c1) / (sqrt(v / c2) + eps), evaluated in the
+        # same operation order as the allocating formulation.
+        np.divide(v, c2, out=a)
+        np.sqrt(a, out=a)
+        a += self.eps
+        np.divide(m, c1, out=b)
+        b *= self.lr
+        b /= a
+        if param is not None:
             param.data -= b
 
     def zero_grad(self) -> None:
@@ -112,5 +157,6 @@ class Adam:
             )
         self.t = int(state["t"])
         for i, param in enumerate(self.params):
-            self._m[i] = np.asarray(state["m"][i], dtype=param.data.dtype).copy()
-            self._v[i] = np.asarray(state["v"][i], dtype=param.data.dtype).copy()
+            # In-place view writes keep the fused arenas coherent.
+            self._m[i][...] = np.asarray(state["m"][i], dtype=param.data.dtype)
+            self._v[i][...] = np.asarray(state["v"][i], dtype=param.data.dtype)

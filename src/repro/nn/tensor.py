@@ -114,12 +114,19 @@ class Workspace:
     while the tape is recording is handed back by the op's backward
     closure; when recording is off it is returned as soon as the forward
     value is computed.
+
+    Buffers whose leading dimension varies batch to batch (anything sized
+    by the stacked node count) go through :meth:`resident` instead: one
+    named slot per trailing shape that grows monotonically and is
+    recycled every step, so a shuffling training loop — where the exact
+    node count never repeats — still allocates nothing in steady state.
     """
 
-    __slots__ = ("_pool",)
+    __slots__ = ("_pool", "_resident")
 
     def __init__(self) -> None:
         self._pool: dict[tuple[tuple[int, ...], np.dtype], list[np.ndarray]] = {}
+        self._resident: dict[tuple, np.ndarray] = {}
 
     def acquire(self, shape: tuple[int, ...], dtype) -> np.ndarray:
         """An uninitialised array of the requested shape (pooled if possible)."""
@@ -133,6 +140,26 @@ class Workspace:
         """Return *array* to the pool for a later :meth:`acquire`."""
         key = (array.shape, array.dtype)
         self._pool.setdefault(key, []).append(array)
+
+    def resident(self, tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """A persistent named scratch slot, grown monotonically.
+
+        Returns a C-contiguous uninitialised view of the requested shape
+        over a slot keyed by ``(tag, shape[1:], dtype)``.  The same slot is
+        handed out on every call, so the caller must be done with the
+        previous lease before asking again — the pattern of a sequential
+        train loop, where step ``t``'s tape is consumed before step
+        ``t+1``'s forward begins.
+        """
+        key = (tag, tuple(shape[1:]), np.dtype(dtype))
+        slot = self._resident.get(key)
+        if slot is None or slot.shape[0] < shape[0]:
+            # Grow geometrically: shuffled batches wiggle in node count,
+            # and doubling keeps reallocation from recurring every epoch.
+            rows = shape[0] if slot is None else max(shape[0], 2 * slot.shape[0])
+            slot = np.empty((rows,) + tuple(shape[1:]), dtype=dtype)
+            self._resident[key] = slot
+        return slot[: shape[0]]
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -324,8 +351,12 @@ class Tensor:
         data = self.data @ other.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad @ other.data.T)
-            other._accumulate(self.data.T @ grad)
+            # Both products are freshly allocated, so ownership transfers
+            # (no defensive copy); skip the GEMM entirely for constants.
+            if self.requires_grad:
+                self._accumulate_owned(grad @ other.data.T)
+            if other.requires_grad:
+                other._accumulate_owned(self.data.T @ grad)
 
         return self._make(data, (self, other), backward)
 
@@ -361,19 +392,32 @@ class Tensor:
     def T(self) -> "Tensor":
         return self.transpose()
 
-    def gather_rows(self, indices: np.ndarray, unique: bool = False) -> "Tensor":
+    def gather_rows(
+        self,
+        indices: np.ndarray,
+        unique: bool = False,
+        out: np.ndarray | None = None,
+    ) -> "Tensor":
         """Select rows; an index of ``-1`` yields a zero row (padding).
 
         Gradient scatters back additively into the selected rows.  Pass
         ``unique=True`` when the caller guarantees no index repeats (e.g.
         SortPooling, where every node row is taken at most once): the
         scatter then becomes a direct assignment instead of ``np.add.at``.
+        An optional *out* destination (possibly a strided column slice of
+        a shared buffer) receives the gather in place and becomes the
+        result tensor's data.
         """
         indices = np.asarray(indices, dtype=np.int64)
-        padded = np.zeros(
-            (indices.shape[0],) + self.shape[1:], dtype=self.data.dtype
-        )
         valid = indices >= 0
+        if out is None:
+            padded = np.zeros(
+                (indices.shape[0],) + self.shape[1:], dtype=self.data.dtype
+            )
+        else:
+            padded = out
+            if not valid.all():
+                padded[~valid] = 0.0
         padded[valid] = self.data[indices[valid]]
 
         def backward(grad: np.ndarray) -> None:
@@ -410,7 +454,7 @@ class Tensor:
         data = np.tanh(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * (1.0 - data**2))
+            self._accumulate_owned(grad * (1.0 - data**2))
 
         return self._make(data, (self,), backward)
 
@@ -418,7 +462,7 @@ class Tensor:
         data = np.maximum(self.data, 0.0)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * (self.data > 0))
+            self._accumulate_owned(grad * (self.data > 0))
 
         return self._make(data, (self,), backward)
 
@@ -426,7 +470,7 @@ class Tensor:
         data = 1.0 / (1.0 + np.exp(-self.data))
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * data * (1.0 - data))
+            self._accumulate_owned(grad * data * (1.0 - data))
 
         return self._make(data, (self,), backward)
 

@@ -96,3 +96,21 @@ def test_attack_is_deterministic():
     a = run_muxlink(locked.circuit, cfg)
     b = run_muxlink(locked.circuit, cfg)
     assert a.predicted_key == b.predicted_key
+
+
+def test_streamed_scoring_matches_serial(dmux_attack):
+    """The extract->score pipeline is bit-identical to the serial path."""
+    import numpy as np
+
+    base, locked, streamed = dmux_attack
+    assert CI_CONFIG.score_prefetch > 0  # module fixture ran the pipeline
+    serial_config = MuxLinkConfig(
+        h=CI_CONFIG.h, train=CI_CONFIG.train, seed=CI_CONFIG.seed,
+        score_prefetch=0,
+    )
+    serial = run_muxlink(locked.circuit, serial_config)
+    assert serial.predicted_key == streamed.predicted_key
+    np.testing.assert_array_equal(
+        np.array([m.likelihoods for m in serial.scored]),
+        np.array([m.likelihoods for m in streamed.scored]),
+    )

@@ -10,6 +10,7 @@ from repro.linkpred import (
     build_link_dataset,
     build_target_examples,
     extract_attack_graph,
+    iter_target_examples,
     sample_links,
     score_examples,
     train_link_predictor,
@@ -171,3 +172,25 @@ def test_training_determinism():
     np.testing.assert_array_equal(
         m1.state_dict()[0], m2.state_dict()[0]
     )
+
+
+def test_iter_target_examples_chunking_matches_build():
+    """Chunked lazy extraction yields exactly build_target_examples."""
+    graph = graph_for(seed=14, key_size=6)
+    sample = sample_links(graph, seed=14)
+    ds = build_link_dataset(graph, sample, h=2)
+    reference = build_target_examples(graph, ds)
+    for chunk_size in (1, 3, 4, 999):
+        chunks = list(iter_target_examples(graph, ds, chunk_size=chunk_size))
+        flat = [t for chunk in chunks for t in chunk]
+        assert len(flat) == len(reference)
+        if chunk_size == 3:  # rounded up to even: MUX pairs stay together
+            assert all(len(c) % 2 == 0 for c in chunks[:-1])
+        for a, b in zip(flat, reference):
+            assert a.target == b.target
+            assert a.select_value == b.select_value
+            assert a.example.n_nodes == b.example.n_nodes
+            assert np.array_equal(a.example.edges, b.example.edges)
+            assert np.array_equal(a.example.features, b.example.features)
+    with pytest.raises(ValueError):
+        next(iter_target_examples(graph, ds, chunk_size=0))

@@ -7,7 +7,7 @@ import pytest
 from repro.gnn import BatchCache, GraphExample
 from repro.linkpred import Trainer, TrainConfig, train_link_predictor
 from repro.linkpred.dataset import LinkDataset
-from repro.linkpred.trainer import _evaluate, score_examples
+from repro.linkpred.trainer import _evaluate, score_examples, score_stream
 
 
 def make_example(rng, kind, width=4, n=12, label=None):
@@ -239,3 +239,57 @@ def test_score_examples_batch_size_invariant():
     np.testing.assert_allclose(a, b, rtol=0, atol=1e-6)
     np.testing.assert_array_equal(b, default)
     assert score_examples(model, []).size == 0
+
+
+def test_score_examples_accepts_prebuilt_cache():
+    """A BatchCache skips batch construction; scores are bit-identical."""
+    dataset = toy_dataset()
+    model, _ = Trainer(dataset, CFG).fit()
+    cache = BatchCache(dataset.validation, CFG.batch_size)
+    uncached = score_examples(model, dataset.validation, CFG.batch_size)
+    cached = score_examples(model, dataset.validation, CFG.batch_size, cache=cache)
+    np.testing.assert_array_equal(cached, uncached)
+    # batch_size may be inferred from the cache
+    np.testing.assert_array_equal(
+        score_examples(model, dataset.validation, cache=cache), uncached
+    )
+
+
+def test_score_stream_matches_serial_scoring():
+    """Streamed scoring partitions batches exactly like score_examples."""
+    dataset = toy_dataset(n_train=30, n_val=23)
+    model, _ = Trainer(dataset, CFG).fit()
+    serial = score_examples(model, dataset.validation, batch_size=5)
+
+    produced = []
+
+    def chunks():
+        # uneven chunk sizes cross batch boundaries on purpose
+        examples = list(dataset.validation)
+        for size in (3, 7, 1, 8, 4):
+            chunk, examples = examples[:size], examples[size:]
+            produced.append(len(chunk))
+            yield chunk
+        assert not examples
+
+    streamed = score_stream(model, chunks(), batch_size=5, prefetch=2)
+    np.testing.assert_array_equal(streamed, serial)
+    assert sum(produced) == len(dataset.validation)
+    # prefetch<=0 degrades to the serial call
+    degraded = score_stream(
+        model, [list(dataset.validation)], batch_size=5, prefetch=0
+    )
+    np.testing.assert_array_equal(degraded, serial)
+    assert score_stream(model, [], batch_size=5).size == 0
+
+
+def test_score_stream_propagates_producer_errors():
+    dataset = toy_dataset()
+    model, _ = Trainer(dataset, CFG).fit()
+
+    def chunks():
+        yield dataset.validation[:4]
+        raise RuntimeError("extraction exploded")
+
+    with pytest.raises(RuntimeError, match="extraction exploded"):
+        score_stream(model, chunks(), batch_size=2, prefetch=1)
