@@ -1,0 +1,174 @@
+"""Composed pipeline bench: multi-process extraction + streamed scoring.
+
+The two throughput features of the attack pipeline were benchmarked
+separately until now (``bench_subgraph_extraction`` for the worker-pool
+dataset build, ``bench_spmm`` for the streamed scorer); this bench runs
+them **composed through ``run_muxlink``** on an ITC-99 design, the way a
+PAPER-scale attack would:
+
+* **baseline** — ``n_workers=0, score_prefetch=0``: in-process
+  extraction, serial extract-everything-then-score;
+* **streamed** — ``n_workers=0, score_prefetch=2``: in-process
+  extraction overlapped with GNN forwards (the production default);
+* **workers** — ``n_workers=W, score_prefetch=2``: the training-split
+  extraction fans out over a multiprocessing pool; candidate scoring
+  takes the one-pool main-thread path (pools must not fork from the
+  streaming producer thread — see :class:`repro.core.MuxLinkConfig`).
+
+All three modes must produce **bit-identical** likelihoods and loss
+curves (asserted); per-stage wall-clock (``sampling`` / ``training`` /
+``testing``) is printed and recorded under the ``bench_extract_score``
+section of ``BENCH_training.json`` (see ``perf_record.py``).
+
+Sizing: ``REPRO_BENCH_XS_BENCHMARK`` (default ``b14``) and
+``REPRO_BENCH_XS_SCALE`` (default ``0.05``) pick the design;
+``REPRO_BENCH_XS_SCALE=1.0`` is the full-size ITC run the ROADMAP asks
+for (minutes of wall-clock).  No speedup is gated by default — worker
+pools cannot win on the 1-2 core containers CI runs on — but
+``REPRO_BENCH_XS_MIN_SPEEDUP`` arms a floor on the composed mode for
+benchmarking on real multicore hosts.
+
+Run standalone::
+
+    python benchmarks/bench_extract_score.py
+
+or under pytest::
+
+    pytest benchmarks/bench_extract_score.py -s
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from perf_record import update_record
+from repro.benchgen import load_benchmark
+from repro.core import MuxLinkConfig, run_muxlink
+from repro.linkpred import TrainConfig
+from repro.locking import lock_dmux
+
+BENCHMARK = os.environ.get("REPRO_BENCH_XS_BENCHMARK", "b14")
+SCALE = float(os.environ.get("REPRO_BENCH_XS_SCALE", "0.05"))
+KEY_SIZE = int(os.environ.get("REPRO_BENCH_XS_KEY_SIZE", "32"))
+WORKERS = int(os.environ.get("REPRO_BENCH_XS_WORKERS", "4"))
+MAX_LINKS = int(os.environ.get("REPRO_BENCH_XS_LINKS", "1500"))
+EPOCHS = int(os.environ.get("REPRO_BENCH_XS_EPOCHS", "2"))
+H = 3
+SEED = 0
+#: 0 disables the gate (CI containers are too small for pools to win).
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_XS_MIN_SPEEDUP", "0"))
+
+
+def _config(n_workers: int, score_prefetch: int) -> MuxLinkConfig:
+    return MuxLinkConfig(
+        h=H,
+        max_train_links=MAX_LINKS,
+        train=TrainConfig(epochs=EPOCHS, learning_rate=1e-3, seed=SEED),
+        seed=SEED,
+        n_workers=n_workers,
+        score_prefetch=score_prefetch,
+    )
+
+
+def _likelihood_table(result) -> list[tuple]:
+    return sorted(
+        (s.mux_name, s.key_index, s.load, s.likelihoods) for s in result.scored
+    )
+
+
+def test_composed_extraction_and_streaming_parity_and_timing():
+    locked = lock_dmux(
+        load_benchmark(BENCHMARK, scale=SCALE), key_size=KEY_SIZE, seed=SEED
+    )
+    n_candidates = 2 * sum(1 for _ in locked.mux_instances())
+    print(
+        f"\n[bench_extract_score] {BENCHMARK} scale={SCALE} "
+        f"K={KEY_SIZE} ({len(locked.circuit)} gates, "
+        f"~{n_candidates} candidate links) links={MAX_LINKS} "
+        f"epochs={EPOCHS} workers={WORKERS} cores={os.cpu_count()}"
+    )
+
+    modes = {
+        "baseline": _config(n_workers=0, score_prefetch=0),
+        "streamed": _config(n_workers=0, score_prefetch=2),
+        "workers": _config(n_workers=WORKERS, score_prefetch=2),
+    }
+    results = {}
+    for name, config in modes.items():
+        results[name] = run_muxlink(locked.circuit, config)
+        stages = results[name].runtime_seconds
+        print(
+            f"  {name:<9} sampling {stages['sampling']:7.2f}s  "
+            f"training {stages['training']:7.2f}s  "
+            f"testing {stages['testing']:7.2f}s  "
+            f"total {results[name].total_runtime:7.2f}s"
+        )
+
+    # Composition must not move a single bit.
+    reference = results["baseline"]
+    for name in ("streamed", "workers"):
+        assert _likelihood_table(results[name]) == _likelihood_table(reference), (
+            f"{name} mode diverged from the serial path"
+        )
+        assert results[name].predicted_key == reference.predicted_key
+        assert (
+            results[name].history.train_loss == reference.history.train_loss
+        ), f"{name} mode changed the training trajectory"
+
+    base_pipeline = (
+        reference.runtime_seconds["sampling"]
+        + reference.runtime_seconds["testing"]
+    )
+    composed = results["workers"]
+    composed_pipeline = (
+        composed.runtime_seconds["sampling"]
+        + composed.runtime_seconds["testing"]
+    )
+    speedup = base_pipeline / max(composed_pipeline, 1e-9)
+    stream_speedup = (
+        reference.runtime_seconds["testing"]
+        / max(results["streamed"].runtime_seconds["testing"], 1e-9)
+    )
+    print(
+        f"  extract+score pipeline: {base_pipeline:.2f}s serial -> "
+        f"{composed_pipeline:.2f}s with {WORKERS} workers "
+        f"({speedup:.2f}x); streamed scoring alone {stream_speedup:.2f}x"
+    )
+
+    update_record(
+        "bench_extract_score",
+        {
+            "benchmark": BENCHMARK,
+            "circuit_scale": SCALE,
+            "key_size": KEY_SIZE,
+            "gates": len(locked.circuit),
+            "candidates": n_candidates,
+            "links": MAX_LINKS,
+            "epochs": EPOCHS,
+            "workers": WORKERS,
+            "stages_seconds": {
+                name: {
+                    stage: round(seconds, 4)
+                    for stage, seconds in result.runtime_seconds.items()
+                }
+                for name, result in results.items()
+            },
+            "pipeline_speedup_workers": round(speedup, 3),
+            "stream_speedup": round(stream_speedup, 3),
+            "parity_exact": True,
+            "min_speedup_gate": MIN_SPEEDUP,
+        },
+    )
+
+    if MIN_SPEEDUP > 0:
+        assert speedup >= MIN_SPEEDUP, (
+            f"composed pipeline is only {speedup:.2f}x the serial path "
+            f"(need >= {MIN_SPEEDUP}x)"
+        )
+
+
+if __name__ == "__main__":
+    test_composed_extraction_and_streaming_parity_and_timing()
+    print("bench_extract_score: OK")

@@ -1,0 +1,136 @@
+"""Persistent-store resume bench: ``repro figures`` without recompute.
+
+Drives the fig7-fig10 cell grids through two **independent**
+store-backed :class:`~repro.experiments.ExperimentRunner` instances
+(fresh in-memory caches each — exactly what two separate ``repro
+figures --store`` invocations do):
+
+1. the **first** pass locks/trains whatever the store does not hold yet
+   — on a CI runner with a restored ``actions/cache`` store this is
+   already (near-)zero work;
+2. the **resume** pass must perform **zero lock and zero train jobs**
+   (asserted on :class:`~repro.experiments.RunnerStats`) and return
+   records bit-identical to the first pass.
+
+Wall-clock for both passes, the artifact counts and the store hit/miss
+counters land in the job summary (``GITHUB_STEP_SUMMARY``) and in the
+``bench_store_resume`` section of ``BENCH_training.json``.
+
+``REPRO_BENCH_STORE_DIR`` picks the store directory (default
+``.repro-store`` — the path CI persists across workflow runs) and
+``REPRO_BENCH_STORE_SCALE`` the grid (default ``smoke``; ``ci`` for the
+full figure-bench grid).
+
+Run standalone::
+
+    python benchmarks/bench_store_resume.py
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from perf_record import update_record
+from repro.experiments import (
+    ExperimentRunner,
+    fig7_cells,
+    fig8_cells,
+    fig9_cells,
+    fig10_cells,
+    record_fingerprint,
+    scale_by_name,
+)
+
+STORE_DIR = os.environ.get("REPRO_BENCH_STORE_DIR", ".repro-store")
+SCALE_NAME = os.environ.get("REPRO_BENCH_STORE_SCALE", "smoke")
+SEED = 0
+
+
+def _grid(scale):
+    cells = list(fig7_cells(scale, seed=SEED))
+    cells += fig8_cells(scale, seed=SEED)
+    cells += fig9_cells(scale, seed=SEED)
+    cells += fig10_cells(scale, hops=(1, 2, 3), seed=SEED)
+    return cells
+
+
+def _summarize(rows: list[tuple[str, float, str]]) -> None:
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(
+            f"### bench_store_resume ({SCALE_NAME} grid, store `{STORE_DIR}`)\n\n"
+        )
+        handle.write("| pass | wall-clock | runner stats |\n|---|---|---|\n")
+        for name, seconds, stats in rows:
+            handle.write(f"| {name} | {seconds:.2f}s | `{stats}` |\n")
+        handle.write(
+            "\nresume pass re-locked and re-trained **nothing** "
+            "(asserted); a warm `actions/cache` store makes the first "
+            "pass near-zero work too.\n"
+        )
+
+
+def test_store_resume_zero_recompute():
+    scale = scale_by_name(SCALE_NAME)
+    cells = _grid(scale)
+    print(
+        f"\n[bench_store_resume] scale={scale.name} cells={len(cells)} "
+        f"store={STORE_DIR}"
+    )
+
+    first = ExperimentRunner(jobs=0, store=STORE_DIR)
+    t0 = time.perf_counter()
+    first_records = first.run(cells)
+    t_first = time.perf_counter() - t0
+    print(f"  first pass : {t_first:7.2f}s  {first.stats.summary()}")
+    print(f"               store: {first.store.stats.summary()}")
+
+    resume = ExperimentRunner(jobs=0, store=STORE_DIR)
+    t0 = time.perf_counter()
+    resume_records = resume.run(cells)
+    t_resume = time.perf_counter() - t0
+    print(f"  resume pass: {t_resume:7.2f}s  {resume.stats.summary()}")
+    print(f"               store: {resume.store.stats.summary()}")
+
+    assert resume.stats.locks_computed == 0, "resume pass re-locked"
+    assert resume.stats.attacks_computed == 0, "resume pass re-trained"
+    assert [record_fingerprint(r) for r in resume_records] == [
+        record_fingerprint(r) for r in first_records
+    ], "resumed records diverged from the first pass"
+
+    _summarize(
+        [
+            ("first", t_first, first.stats.summary()),
+            ("resume", t_resume, resume.stats.summary()),
+        ]
+    )
+    update_record(
+        "bench_store_resume",
+        {
+            "scale": scale.name,
+            "cells": len(cells),
+            "store": STORE_DIR,
+            "first_seconds": round(t_first, 4),
+            "first_locks_computed": first.stats.locks_computed,
+            "first_attacks_computed": first.stats.attacks_computed,
+            "first_locks_loaded": first.stats.locks_loaded,
+            "first_attacks_loaded": first.stats.attacks_loaded,
+            "resume_seconds": round(t_resume, 4),
+            "resume_locks_computed": resume.stats.locks_computed,
+            "resume_attacks_computed": resume.stats.attacks_computed,
+            "resume_locks_loaded": resume.stats.locks_loaded,
+            "resume_attacks_loaded": resume.stats.attacks_loaded,
+            "store_bytes_written": first.store.stats.bytes_written,
+            "store_bytes_read": (
+                first.store.stats.bytes_read + resume.store.stats.bytes_read
+            ),
+        },
+    )
+
+
+if __name__ == "__main__":
+    test_store_resume_zero_recompute()
+    print("bench_store_resume: OK")

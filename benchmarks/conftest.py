@@ -11,6 +11,12 @@ figures``: ``REPRO_JOBS=N`` pools the attack cells over N worker
 processes, and when several figure benches run in one pytest session the
 later ones reuse the locked netlists and trained attacks of the earlier
 ones (Fig. 8 / Fig. 9 re-train nothing after Fig. 7).
+
+``REPRO_STORE=<dir>`` additionally backs the runner with the persistent
+content-addressed artifact store, so the bench suite, ``repro figures``
+and the CLI share one artifact pool across *sessions* — a second bench
+run re-locks and re-trains nothing (see ``bench_store_resume.py``; the
+runner reports the hit/miss/bytes counters at session end).
 """
 
 import pytest
@@ -20,9 +26,19 @@ from repro.experiments import ExperimentRunner
 
 @pytest.fixture(scope="session")
 def runner():
-    """The shared pooled/cache-warm experiment runner (``REPRO_JOBS``)."""
+    """The shared pooled/cache-warm experiment runner.
+
+    Honours ``REPRO_JOBS`` (worker pool) and ``REPRO_STORE`` (persistent
+    artifact store) exactly like ``repro figures``.
+    """
     with ExperimentRunner() as shared:
         yield shared
+        if shared.store is not None:
+            print(
+                f"\n[conftest] runner: {shared.stats.summary()}"
+                f"\n[conftest] store: {shared.store.stats.summary()} "
+                f"@ {shared.store.root}"
+            )
 
 
 @pytest.fixture

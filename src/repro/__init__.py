@@ -41,6 +41,7 @@ from repro.locking import (
 )
 from repro.netlist import Circuit, Gate, GateType, load_bench, parse_bench, write_bench
 from repro.sim import hamming_distance
+from repro.store import ArtifactStore, resolve_store
 
 __version__ = "1.0.0"
 
@@ -73,5 +74,7 @@ __all__ = [
     "recover_design",
     "hamming_with_x",
     "hamming_distance",
+    "ArtifactStore",
+    "resolve_store",
     "__version__",
 ]

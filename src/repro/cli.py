@@ -24,6 +24,11 @@ and ``--dtype float64`` (or ``REPRO_DTYPE``) restores the float64 runtime.
 ``REPRO_JOBS``; ``auto`` = all cores) pools independent attack cells
 over N worker processes, and locked netlists / trained attacks are
 cached across figures — results are bit-identical for any job count.
+With ``--store DIR`` (or ``REPRO_STORE``) those caches write through a
+persistent content-addressed artifact store, so a rerun in a fresh
+process performs zero lock and zero train jobs; ``attack --store``
+keys single attacks into the same pool, and ``cache ls / stats / gc /
+verify`` administers it.
 """
 
 from __future__ import annotations
@@ -110,7 +115,10 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         score_prefetch=args.score_prefetch,
     )
-    result = run_muxlink(circuit, config)
+    from repro.store import resolve_store
+
+    store = resolve_store(args.store)  # --store wins, else REPRO_STORE
+    result = run_muxlink(circuit, config, store=store)
     print(f"predicted key: {result.predicted_key}")
     if key:
         metrics = score_key(result.predicted_key, key)
@@ -145,14 +153,72 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         10: (run_fig10, format_fig10),
     }
     print(f"scale={scale.name} jobs={args.jobs if args.jobs is not None else 'env'}")
-    with ExperimentRunner(jobs=args.jobs) as runner:
+    with ExperimentRunner(jobs=args.jobs, store=args.store) as runner:
+        if runner.store is not None:
+            print(f"store={runner.store.root}")
         for figure in args.figures:
             run, fmt = drivers[figure]
             print()
             print(fmt(run(scale=scale, seed=args.seed, runner=runner)))
         print()
         print(f"runner: {runner.stats.summary()}")
+        if runner.store is not None:
+            print(f"store: {runner.store.stats.summary()}")
     return 0
+
+
+def _cache_store(args: argparse.Namespace):
+    """Resolve the store for ``repro cache`` (--store beats REPRO_STORE)."""
+    from repro.store import resolve_store
+
+    store = resolve_store(args.store)
+    if store is None:
+        print(
+            "error: no artifact store — pass --store DIR or set REPRO_STORE",
+            file=sys.stderr,
+        )
+    return store
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = _cache_store(args)
+    if store is None:
+        return 2
+    if args.cache_command == "ls":
+        entries = list(store.entries())
+        for entry in entries:
+            print(f"{entry.kind:<12}{entry.size:>12}  {entry.key}")
+        print(f"{len(entries)} artifact(s) in {store.schema_dir}")
+        return 0
+    if args.cache_command == "stats":
+        by_kind: dict[str, tuple[int, int]] = {}
+        for entry in store.entries():
+            count, size = by_kind.get(entry.kind, (0, 0))
+            by_kind[entry.kind] = (count + 1, size + entry.size)
+        total_count = sum(c for c, _ in by_kind.values())
+        total_size = sum(s for _, s in by_kind.values())
+        print(f"store {store.root} (schema v{store.schema})")
+        for kind in sorted(by_kind):
+            count, size = by_kind[kind]
+            print(f"  {kind:<12}{count:>8} artifact(s) {size:>14} bytes")
+        print(f"  {'total':<12}{total_count:>8} artifact(s) {total_size:>14} bytes")
+        return 0
+    if args.cache_command == "gc":
+        removed, freed = store.gc(keep_days=args.keep_days)
+        print(
+            f"removed {removed} file(s), freed {freed} bytes "
+            f"(kept entries touched within {args.keep_days} day(s))"
+        )
+        return 0
+    if args.cache_command == "verify":
+        corrupt = store.verify(delete=args.delete)
+        checked = len(list(store.entries())) + (len(corrupt) if args.delete else 0)
+        for entry in corrupt:
+            action = "deleted" if args.delete else "corrupt"
+            print(f"{action}: {entry.path}")
+        print(f"verified {checked} artifact(s), {len(corrupt)} corrupt")
+        return 1 if corrupt else 0
+    raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
 def _cmd_saam(args: argparse.Namespace) -> int:
@@ -288,6 +354,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="batches in flight in the streamed extract+score pipeline "
         "(0 = serial extract-then-score; results identical)",
     )
+    p.add_argument(
+        "--store",
+        default=None,
+        help="artifact store directory: cache this attack by netlist "
+        "digest + config hash (default: REPRO_STORE, no store when unset)",
+    )
     p.set_defaults(func=_cmd_attack)
 
     p = sub.add_parser(
@@ -315,7 +387,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment preset (default: REPRO_EXPERIMENT_SCALE or ci)",
     )
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--store",
+        default=None,
+        help="persistent artifact store directory; reruns resume with "
+        "zero lock/train jobs (default: REPRO_STORE, no store when unset)",
+    )
     p.set_defaults(func=_cmd_figures)
+
+    p = sub.add_parser(
+        "cache", help="administer a persistent artifact store"
+    )
+    p.add_argument(
+        "--store",
+        default=None,
+        help="store directory (default: REPRO_STORE)",
+    )
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("ls", help="list artifacts (kind, bytes, key)")
+    cache_sub.add_parser("stats", help="per-kind artifact counts and bytes")
+    gc_p = cache_sub.add_parser(
+        "gc", help="drop artifacts not touched recently (plus stray tmp files)"
+    )
+    gc_p.add_argument(
+        "--keep-days",
+        type=float,
+        required=True,
+        help="keep artifacts read or written within this many days",
+    )
+    verify_p = cache_sub.add_parser(
+        "verify", help="decode every artifact; report (and drop) corrupt ones"
+    )
+    verify_p.add_argument(
+        "--delete",
+        action="store_true",
+        help="delete the corrupt artifacts instead of only reporting them",
+    )
+    p.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser("saam", help="run the SAAM structural attack")
     p.add_argument("netlist")

@@ -76,6 +76,11 @@ class MuxLinkResult:
 
     ``scored`` retains per-MUX likelihoods, so the threshold study (Fig. 9)
     re-runs post-processing without re-training via :func:`rescore_key`.
+
+    A result rematerialized from the artifact store carries the trained
+    model (weights round-trip through ``repro.store.codec``) but no
+    attack graph — ``graph`` is ``None`` there; re-extract it from the
+    locked netlist when needed.
     """
 
     predicted_key: str
@@ -83,8 +88,8 @@ class MuxLinkResult:
     n_key_bits: int
     history: TrainHistory
     runtime_seconds: dict[str, float]
-    graph: AttackGraph
-    model: DGCNN
+    graph: AttackGraph | None = None
+    model: DGCNN | None = None
 
     @property
     def total_runtime(self) -> float:
@@ -92,7 +97,9 @@ class MuxLinkResult:
 
 
 def run_muxlink(
-    circuit: Circuit, config: MuxLinkConfig = MuxLinkConfig()
+    circuit: Circuit,
+    config: MuxLinkConfig = MuxLinkConfig(),
+    store=None,
 ) -> MuxLinkResult:
     """Attack a MUX-locked netlist.
 
@@ -100,11 +107,36 @@ def run_muxlink(
         circuit: the locked design (key inputs named ``keyinput<i>``,
             key gates are ``MUX`` primitives selected by them).
         config: attack configuration.
+        store: optional :class:`~repro.store.ArtifactStore` (or a path
+            to one).  The attack is then content-addressed by the
+            netlist digest + the semantic config hash: a hit skips
+            training entirely (the cached per-MUX likelihoods are
+            re-thresholded at ``config.threshold``), a miss computes and
+            persists.  The CLI, the figure drivers and the bench suite
+            all key into the same pool.
 
     Returns:
         A :class:`MuxLinkResult` with the predicted key (``x`` for
         undecided bits) and full diagnostics.
     """
+    # Local import: repro.store pulls netlist/locking helpers whose
+    # package chain leads back into repro.core.
+    from repro import store as store_mod
+
+    artifact_store = store_mod.resolve_store(store) if store is not None else None
+    store_key = None
+    if artifact_store is not None:
+        digest = store_mod.circuit_digest(circuit)
+        store_key = store_mod.attack_store_key(digest, config)
+        result = artifact_store.get(
+            "attacks", store_key, decoder=store_mod.decode_attack_artifact
+        )
+        if result is not None:
+            # The artifact was trained at *some* threshold; re-run the
+            # (deterministic) post-processing at this caller's.
+            result.predicted_key = rescore_key(result, config.threshold)
+            return result
+
     runtime: dict[str, float] = {}
 
     start = time.perf_counter()
@@ -190,7 +222,7 @@ def run_muxlink(
     predicted = decisions_to_key(decisions, n_bits)
     runtime["post_processing"] = time.perf_counter() - start
 
-    return MuxLinkResult(
+    result = MuxLinkResult(
         predicted_key=predicted,
         scored=scored,
         n_key_bits=n_bits,
@@ -199,6 +231,11 @@ def run_muxlink(
         graph=graph,
         model=model,
     )
+    if artifact_store is not None and store_key is not None:
+        artifact_store.put(
+            "attacks", store_key, store_mod.encode_attack_artifact(result)
+        )
+    return result
 
 
 def rescore_key(result: MuxLinkResult, threshold: float) -> str:

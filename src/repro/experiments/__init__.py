@@ -31,11 +31,13 @@ from repro.experiments.fig10 import (
     run_fig10,
 )
 from repro.experiments.runner import (
+    AttackJob,
     Cell,
     ExperimentRunner,
     RunnerStats,
     cell_seed_sequence,
     derive_cell_seeds,
+    execute_attack_job,
     make_cell,
     record_fingerprint,
     resolve_jobs,
@@ -53,11 +55,13 @@ __all__ = [
     "attack_benchmark",
     "lock_with",
     "format_records",
+    "AttackJob",
     "Cell",
     "ExperimentRunner",
     "RunnerStats",
     "cell_seed_sequence",
     "derive_cell_seeds",
+    "execute_attack_job",
     "make_cell",
     "record_fingerprint",
     "resolve_jobs",

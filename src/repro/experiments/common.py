@@ -227,6 +227,7 @@ def attack_benchmark(
     circuit_scale: float,
     seed: int = 0,
     runner=None,
+    store=None,
 ) -> AttackRecord:
     """Lock one benchmark and run MuxLink on it.
 
@@ -236,12 +237,15 @@ def attack_benchmark(
     ``(benchmark, scheme, key_size)`` so every cell of a grid gets an
     independent stream regardless of iteration order.  Passing a shared
     :class:`~repro.experiments.runner.ExperimentRunner` reuses its
-    artifact caches (and worker pool) across calls.
+    artifact caches (and worker pool) across calls; *store* (an
+    :class:`~repro.store.ArtifactStore` or a path) makes a one-shot call
+    read/write the persistent artifact pool instead — ignored when
+    *runner* is given (the runner owns its store).
     """
     from repro.experiments.runner import ExperimentRunner, make_cell
 
     if runner is None:
-        runner = ExperimentRunner(jobs=0)
+        runner = ExperimentRunner(jobs=0, store=store)
     cell = make_cell(scale, name, circuit_scale, scheme, key_size, seed)
     return runner.run([cell])[0]
 

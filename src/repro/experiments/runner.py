@@ -27,13 +27,23 @@ is submitted, executes only the unique jobs (in the pool or in-process),
 and materializes every cell's record from the parent-side caches.
 Workers never see the caches, so serial and pooled runs perform the same
 unique computations in the same code path.
+
+Every cache layer is a **write-through view over the artifact store**
+(:class:`~repro.store.ArtifactStore`) when one is configured
+(``--store`` / ``REPRO_STORE``): locked netlists and trained attacks are
+probed in memory first, then on disk, and whatever gets computed is
+persisted — so a second process resumes ``repro figures`` with zero lock
+and zero train jobs.  The scheduler boundary is store-shaped too: a
+pending attack is an :class:`AttackJob` — a content-addressed store key
+plus the durable lock payload and config — and a worker ships back the
+encoded attack artifact, exactly the unit a remote host would return.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -47,14 +57,28 @@ from repro.experiments.common import (
 )
 from repro.locking import LockedCircuit
 from repro.netlist import Circuit
-from repro.netlist.bench import write_bench
+from repro.store import (
+    ArtifactStore,
+    attack_store_key,
+    circuit_digest,
+    decode_attack_artifact,
+    decode_circuit,
+    decode_lock_artifact,
+    encode_attack_artifact,
+    encode_circuit,
+    encode_lock_artifact,
+    lock_store_key,
+    resolve_store,
+)
 
 __all__ = [
+    "AttackJob",
     "Cell",
     "ExperimentRunner",
     "RunnerStats",
     "cell_seed_sequence",
     "derive_cell_seeds",
+    "execute_attack_job",
     "make_cell",
     "record_fingerprint",
     "resolve_jobs",
@@ -158,28 +182,68 @@ def make_cell(
 
 @dataclass
 class RunnerStats:
-    """Instrumented cache counters (tests assert zero re-locks on warm runs)."""
+    """Instrumented cache counters (tests assert zero re-locks on warm runs).
+
+    ``*_computed`` counts real work, ``*_loaded`` counts artifacts
+    rematerialized from the on-disk store, ``*_reused`` counts in-memory
+    (same-process) hits — a warm resumed ``repro figures`` therefore
+    shows ``locks_computed == attacks_computed == 0``.
+    """
 
     bases_loaded: int = 0
     bases_reused: int = 0
     locks_computed: int = 0
+    locks_loaded: int = 0
     locks_reused: int = 0
     attacks_computed: int = 0
+    attacks_loaded: int = 0
     attacks_reused: int = 0
     cells_run: int = 0
 
     def summary(self) -> str:
         return (
             f"cells={self.cells_run} "
-            f"locks={self.locks_computed} (+{self.locks_reused} cached) "
-            f"attacks={self.attacks_computed} (+{self.attacks_reused} cached)"
+            f"locks={self.locks_computed} "
+            f"(+{self.locks_reused} cached, +{self.locks_loaded} store) "
+            f"attacks={self.attacks_computed} "
+            f"(+{self.attacks_reused} cached, +{self.attacks_loaded} store)"
         )
 
 
-def _run_attack_job(circuit: Circuit, config: MuxLinkConfig) -> MuxLinkResult:
-    """One unique attack computation; the single code path for serial and
-    pooled execution (workers import this module-level function)."""
-    return run_muxlink(circuit, config)
+@dataclass(frozen=True)
+class AttackJob:
+    """One pending unique attack, in the scheduler's exchange format.
+
+    A job carries no live library objects: the netlist travels as the
+    gate-order-preserving lock payload dict and the result comes back as
+    the encoded attack artifact — the same bytes-shaped unit the store
+    persists, so a worker can be a local process today and a remote host
+    tomorrow (it would ship the payload back instead of writing our
+    filesystem).
+
+    Attributes:
+        store_key: content address the finished artifact lands under.
+        circuit: ``repro.store.encode_circuit`` payload of the locked
+            netlist (gate order preserved — node indexing depends on it).
+        config: the attack configuration (declarative, picklable).
+    """
+
+    store_key: str
+    circuit: dict
+    config: MuxLinkConfig
+
+
+def execute_attack_job(job: AttackJob) -> dict:
+    """Run one :class:`AttackJob`; returns the encoded attack artifact.
+
+    The single code path for serial and pooled execution (workers import
+    this module-level function).  Consumes and produces store payloads —
+    never live :class:`Circuit` / :class:`MuxLinkResult` objects — so
+    executing a job is independent of the submitting process's caches.
+    """
+    return encode_attack_artifact(
+        run_muxlink(decode_circuit(job.circuit), job.config)
+    )
 
 
 def record_fingerprint(record: AttackRecord) -> tuple:
@@ -223,15 +287,30 @@ class ExperimentRunner:
     already produced.  The runner is a context manager; ``close()``
     shuts the worker pool down (caches survive until the runner is
     garbage collected).
+
+    With a *store* (an :class:`~repro.store.ArtifactStore`, a path, or
+    the ``REPRO_STORE`` environment variable), the in-memory caches
+    become a write-through view over the persistent content-addressed
+    store: misses fall through to disk before computing, and computed
+    locks/attacks are persisted — ``repro figures`` then resumes across
+    invocations, and the CLI / bench suite / figure drivers share one
+    artifact pool.  The in-memory layer stays in front, so the hot path
+    of a single process is unchanged.
     """
 
-    def __init__(self, jobs: int | str | None = None) -> None:
+    def __init__(
+        self,
+        jobs: int | str | None = None,
+        store: ArtifactStore | str | os.PathLike | None = None,
+    ) -> None:
         self.jobs = resolve_jobs(jobs)
+        self.store = resolve_store(store)
         self.stats = RunnerStats()
         self._bases: dict[tuple[str, float], Circuit] = {}
+        self._base_digests: dict[tuple[str, float], str] = {}
         self._locks: dict[tuple, LockedCircuit] = {}
         self._digests: dict[tuple, str] = {}
-        self._attacks: dict[tuple, MuxLinkResult] = {}
+        self._attacks: dict[str, MuxLinkResult] = {}
         self._pool: ProcessPoolExecutor | None = None
 
     # -- context management -------------------------------------------------
@@ -273,43 +352,88 @@ class ExperimentRunner:
             cell.lock_seed,
         )
 
+    def _base_digest(self, benchmark: str, circuit_scale: float) -> str:
+        """Content digest of a base circuit (feeds the lock store key)."""
+        key = (benchmark, float(circuit_scale))
+        if key not in self._base_digests:
+            base = self.base_circuit(benchmark, circuit_scale)
+            self._base_digests[key] = circuit_digest(base)
+        return self._base_digests[key]
+
+    def _record_lock(self, key: tuple, locked: LockedCircuit) -> str:
+        # Comment-free design digest — the same address ``run_muxlink``
+        # computes, so ``repro attack --store`` on a dumped locked BENCH
+        # hits the artifact the figure runner trained (the attack is
+        # oracle-less; neither the key nor the file name is content).
+        self._locks[key] = locked
+        self._digests[key] = circuit_digest(locked.circuit)
+        return self._digests[key]
+
     def locked_circuit(self, cell: Cell) -> LockedCircuit:
-        """Lock (or reuse) the cell's netlist; digests feed the attack key."""
+        """Lock (or reuse) the cell's netlist; digests feed the attack key.
+
+        Probe order: in-memory cache, then the artifact store (the
+        decoded payload preserves gate insertion order, so a store-loaded
+        netlist is attack-identical to a freshly locked one), then a real
+        locking pass — which is written through to the store.
+        """
         key = self._lock_key(cell)
         if key in self._locks:
             self.stats.locks_reused += 1
-        else:
-            base = self.base_circuit(cell.benchmark, cell.circuit_scale)
-            locked = lock_with(
-                cell.scheme, base, key_size=cell.key_size, seed=cell.lock_seed
+            return self._locks[key]
+        store_key = None
+        if self.store is not None:
+            store_key = lock_store_key(
+                self._base_digest(cell.benchmark, cell.circuit_scale),
+                cell.scheme,
+                cell.key_size,
+                cell.lock_seed,
             )
-            self._locks[key] = locked
-            self._digests[key] = hashlib.sha256(
-                write_bench(locked.circuit, key=locked.key).encode()
-            ).hexdigest()
-            self.stats.locks_computed += 1
-        return self._locks[key]
+            locked = self.store.get(
+                "locks", store_key, decoder=decode_lock_artifact
+            )
+            if locked is not None:
+                self._record_lock(key, locked)
+                self.stats.locks_loaded += 1
+                return locked
+        base = self.base_circuit(cell.benchmark, cell.circuit_scale)
+        locked = lock_with(
+            cell.scheme, base, key_size=cell.key_size, seed=cell.lock_seed
+        )
+        self._record_lock(key, locked)
+        self.stats.locks_computed += 1
+        if store_key is not None:
+            self.store.put("locks", store_key, encode_lock_artifact(locked))
+        return locked
 
     @staticmethod
-    def _attack_key(digest: str, config: MuxLinkConfig) -> tuple:
-        # The threshold only affects post-processing (Fig. 9 rescales
-        # without retraining), so it is normalized out of the cache key.
-        return (digest, replace(config, threshold=0.0))
+    def _attack_key(digest: str, config: MuxLinkConfig) -> str:
+        # Content address shared with the on-disk store: the
+        # post-processing threshold and the pure execution knobs are
+        # normalized out (Fig. 9 rescales without retraining; worker
+        # counts cannot move a bit of the result).
+        return attack_store_key(digest, config)
 
     # -- execution ----------------------------------------------------------
     def run(self, cells: list[Cell] | tuple[Cell, ...]) -> list[AttackRecord]:
         """Execute a grid; returns one record per cell, in cell order."""
         cells = list(cells)
-        plans: list[tuple[Cell, tuple, tuple]] = []
-        pending: dict[tuple, tuple[Circuit, MuxLinkConfig]] = {}
+        plans: list[tuple[Cell, tuple, str]] = []
+        pending: dict[str, AttackJob] = {}
         for cell in cells:
             locked = self.locked_circuit(cell)
             lock_key = self._lock_key(cell)
             attack_key = self._attack_key(self._digests[lock_key], cell.config)
             if attack_key in self._attacks or attack_key in pending:
                 self.stats.attacks_reused += 1
+            elif self._load_attack(attack_key):
+                self.stats.attacks_loaded += 1
             else:
-                pending[attack_key] = (locked.circuit, cell.config)
+                pending[attack_key] = AttackJob(
+                    store_key=attack_key,
+                    circuit=encode_circuit(locked.circuit),
+                    config=cell.config,
+                )
                 self.stats.attacks_computed += 1
             plans.append((cell, lock_key, attack_key))
 
@@ -317,23 +441,55 @@ class ExperimentRunner:
         self.stats.cells_run += len(cells)
         return [self._materialize(*plan) for plan in plans]
 
-    def _execute(
-        self, pending: dict[tuple, tuple[Circuit, MuxLinkConfig]]
-    ) -> None:
-        items = list(pending.items())
-        if self.jobs > 1 and len(items) > 1:
-            futures = [
-                (key, self._executor().submit(_run_attack_job, circuit, config))
-                for key, (circuit, config) in items
-            ]
-            for key, future in futures:
-                self._attacks[key] = future.result()
+    def _load_attack(self, attack_key: str) -> bool:
+        """Rematerialize one trained attack from the store, if present."""
+        if self.store is None:
+            return False
+        result = self.store.get(
+            "attacks", attack_key, decoder=decode_attack_artifact
+        )
+        if result is None:
+            return False
+        self._attacks[attack_key] = result
+        return True
+
+    def _execute(self, pending: dict[str, AttackJob]) -> None:
+        """Run the unique jobs; workers consume/produce artifact payloads.
+
+        Every finished artifact is cached and written through **as it
+        completes** — a crashed worker or an interrupt late in a grid
+        must not discard hours of already-finished training; the rerun
+        resumes from whatever landed in the store.  The first failure is
+        re-raised after the surviving results are persisted.
+        """
+        jobs = list(pending.values())
+        if self.jobs > 1 and len(jobs) > 1:
+            futures = {
+                self._executor().submit(execute_attack_job, job): job
+                for job in jobs
+            }
+            failure: BaseException | None = None
+            for future in as_completed(futures):
+                try:
+                    payload = future.result()
+                except BaseException as exc:
+                    if failure is None:
+                        failure = exc
+                    continue
+                self._finish_job(futures[future], payload)
+            if failure is not None:
+                raise failure
         else:
-            for key, (circuit, config) in items:
-                self._attacks[key] = _run_attack_job(circuit, config)
+            for job in jobs:
+                self._finish_job(job, execute_attack_job(job))
+
+    def _finish_job(self, job: AttackJob, payload: dict) -> None:
+        self._attacks[job.store_key] = decode_attack_artifact(payload)
+        if self.store is not None:
+            self.store.put("attacks", job.store_key, payload)
 
     def _materialize(
-        self, cell: Cell, lock_key: tuple, attack_key: tuple
+        self, cell: Cell, lock_key: tuple, attack_key: str
     ) -> AttackRecord:
         result = self._attacks[attack_key]
         locked = self._locks[lock_key]

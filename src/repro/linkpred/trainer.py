@@ -25,7 +25,6 @@ The engine is built for throughput:
 from __future__ import annotations
 
 import os
-import pickle
 import queue
 import threading
 import time
@@ -271,7 +270,14 @@ def score_stream(
     return np.concatenate(scores) if scores else np.empty(0)
 
 
-_CHECKPOINT_VERSION = 1
+#: Version 2: the pickle container was replaced by the shared
+#: ``repro.store.codec`` npz format (same logical payload — weights,
+#: best-so-far weights, Adam moments, both RNG streams, history — with
+#: the same bit-identical resume guarantee, minus pickle's
+#: arbitrary-code-on-load hazard).  Version-1 pickle checkpoints are
+#: reported as unreadable, not silently migrated.
+_CHECKPOINT_VERSION = 2
+_CHECKPOINT_KIND = "trainer-checkpoint"
 
 
 class Trainer:
@@ -440,15 +446,21 @@ class Trainer:
                 "n_validation": len(self.dataset.validation),
             },
         }
-        tmp = f"{path}.tmp"
-        with open(tmp, "wb") as handle:
-            pickle.dump(payload, handle)
-        os.replace(tmp, path)
+        from repro.store import codec
+
+        codec.dump(payload, path, kind=_CHECKPOINT_KIND)
 
     def load_checkpoint(self, path: str) -> None:
         """Restore a :meth:`save_checkpoint` state into this trainer."""
-        with open(path, "rb") as handle:
-            payload = pickle.load(handle)
+        from repro.store import codec
+
+        try:
+            payload = codec.load(path, kind=_CHECKPOINT_KIND)
+        except codec.CodecError as exc:
+            raise TrainingError(
+                f"unreadable checkpoint {path!r} — corrupt, or written by "
+                f"the pre-npz pickle format ({exc})"
+            ) from exc
         if payload.get("version") != _CHECKPOINT_VERSION:
             raise TrainingError(
                 f"unsupported checkpoint version {payload.get('version')!r}"

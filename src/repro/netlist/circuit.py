@@ -289,6 +289,39 @@ class Circuit:
             idx += 1
         return f"{prefix}_{idx}"
 
+    @classmethod
+    def from_parts(
+        cls,
+        name: str,
+        inputs: list[str],
+        outputs: list[str],
+        gates: list[Gate],
+    ) -> "Circuit":
+        """Rebuild a circuit from its serialized parts, preserving gate order.
+
+        Unlike feeding *gates* through :meth:`add_gate` (which requires
+        fan-in nets to exist already, i.e. a topological insertion order),
+        this accepts gates in **any** order and keeps exactly that order —
+        attack-graph node indices follow ``Circuit.gates`` iteration
+        order, so a deserialized circuit must reproduce the original
+        insertion order bit for bit.  Structure is checked once at the
+        end via :meth:`validate`.
+        """
+        circuit = cls(name, inputs=list(inputs))
+        for gate in gates:
+            if gate.name in circuit._gates:
+                raise NetlistError(f"duplicate gate {gate.name!r}")
+            if gate.name in circuit._input_set:
+                raise NetlistError(
+                    f"gate {gate.name!r} collides with a primary input"
+                )
+            circuit._gates[gate.name] = gate
+        circuit._invalidate()
+        for po in outputs:
+            circuit.add_output(po)
+        circuit.validate()
+        return circuit
+
     def copy(self, name: str | None = None) -> "Circuit":
         """Deep copy (gates are immutable, so this is cheap)."""
         dup = Circuit.__new__(Circuit)

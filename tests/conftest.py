@@ -1,0 +1,15 @@
+"""Suite-wide fixtures.
+
+``REPRO_STORE`` points every :class:`~repro.experiments.ExperimentRunner`
+at a persistent artifact store.  The suite's cache-behaviour tests assert
+exact cold-run counters (locks/attacks *computed*), so an ambient store
+from the developer's shell must not leak in — tests that want one set it
+explicitly (or pass ``store=``).
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_artifact_store(monkeypatch):
+    monkeypatch.delenv("REPRO_STORE", raising=False)

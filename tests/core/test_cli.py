@@ -85,3 +85,82 @@ def test_figures_command_smoke(capsys):
 def test_figures_command_rejects_unknown_figure():
     with pytest.raises(SystemExit):
         main(["figures", "--figures", "3"])
+
+
+def test_attack_command_store_roundtrip(tmp_path, capsys):
+    base = tmp_path / "b.bench"
+    locked = tmp_path / "l.bench"
+    store = tmp_path / "store"
+    main(["generate", "c1355", "--scale", "0.12", "-o", str(base)])
+    main(["lock", str(base), "--key-size", "6", "-o", str(locked)])
+    capsys.readouterr()  # drain the generate/lock chatter
+    args = ["attack", str(locked), "--h", "1", "--epochs", "2",
+            "--store", str(store)]
+    assert main(args) == 0
+    cold = capsys.readouterr().out
+    assert main(args) == 0  # warm: rematerialized, not retrained
+    warm = capsys.readouterr().out
+    assert cold.splitlines()[0] == warm.splitlines()[0]  # same predicted key
+    from repro.store import ArtifactStore
+
+    assert len(list(ArtifactStore(store).entries())) == 1
+
+
+def test_figures_command_with_store(tmp_path, capsys):
+    store = tmp_path / "store"
+    args = ["figures", "--scale", "smoke", "--figures", "7",
+            "--jobs", "0", "--store", str(store)]
+    assert main(args) == 0
+    cold = capsys.readouterr().out
+    assert f"store={store}" in cold
+    assert "store: " in cold  # hit/miss/bytes counters are reported
+    assert main(args) == 0
+    warm = capsys.readouterr().out
+    assert "locks=0" in warm and "attacks=0" in warm
+    assert "+2 store" in warm  # both artifacts rematerialized from disk
+
+
+def test_cache_command_requires_a_store(monkeypatch, capsys):
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+    assert main(["cache", "stats"]) == 2
+    assert "no artifact store" in capsys.readouterr().err
+
+
+def test_cache_ls_stats_gc_verify(tmp_path, capsys, monkeypatch):
+    from repro.store import ArtifactStore
+
+    store_dir = tmp_path / "store"
+    store = ArtifactStore(store_dir)
+    store.put("locks", "ab" * 32, {"x": 1})
+    bad = store.put("attacks", "cd" * 32, {"y": 2})
+
+    assert main(["cache", "--store", str(store_dir), "ls"]) == 0
+    out = capsys.readouterr().out
+    assert "locks" in out and "attacks" in out and "2 artifact(s)" in out
+
+    # stats honours REPRO_STORE when --store is omitted
+    monkeypatch.setenv("REPRO_STORE", str(store_dir))
+    assert main(["cache", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "total" in out and "2 artifact(s)" in out
+
+    bad.write_bytes(b"junk")
+    assert main(["cache", "--store", str(store_dir), "verify"]) == 1
+    out = capsys.readouterr().out
+    assert "corrupt:" in out and "1 corrupt" in out
+    assert main(["cache", "--store", str(store_dir), "verify", "--delete"]) == 1
+    capsys.readouterr()
+    assert main(["cache", "--store", str(store_dir), "verify"]) == 0
+    capsys.readouterr()
+
+    import os
+    import time
+
+    survivor = store.path_for("locks", "ab" * 32)
+    stamp = time.time() - 5 * 86400
+    os.utime(survivor, (stamp, stamp))
+    assert main(["cache", "--store", str(store_dir), "gc",
+                 "--keep-days", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "removed 1 file(s)" in out
+    assert not survivor.exists()

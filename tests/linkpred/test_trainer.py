@@ -293,3 +293,32 @@ def test_score_stream_propagates_producer_errors():
 
     with pytest.raises(RuntimeError, match="extraction exploded"):
         score_stream(model, chunks(), batch_size=2, prefetch=1)
+
+
+def test_checkpoint_is_a_codec_artifact_not_pickle(tmp_path):
+    """Checkpoints ride the shared repro.store codec: numpy-loadable,
+    never unpickled, and legacy pickle files are rejected cleanly."""
+    import pickle
+
+    import numpy as np
+
+    from repro.errors import TrainingError
+    from repro.store import codec
+
+    path = str(tmp_path / "ck.npz")
+    t = Trainer(toy_dataset(), CFG)
+    t.fit(until_epoch=1)
+    t.save_checkpoint(path)
+    # The file is a plain npz archive (no pickled objects inside) ...
+    payload = codec.load(path, kind="trainer-checkpoint")
+    assert payload["epoch"] == 1
+    assert isinstance(payload["model_state"][0], np.ndarray)
+    assert payload["shuffle_rng_state"]["bit_generator"] == "PCG64"
+
+    # ... and a pickle-era checkpoint fails with a clear TrainingError.
+    legacy = str(tmp_path / "legacy.pkl")
+    with open(legacy, "wb") as handle:
+        pickle.dump({"version": 1}, handle)
+    fresh = Trainer(toy_dataset(), CFG)
+    with pytest.raises(TrainingError, match="unreadable checkpoint"):
+        fresh.load_checkpoint(legacy)
