@@ -340,7 +340,7 @@ def pr2_fit(dataset, config, assembler, val_cache):
             epoch_loss += loss.item()
             n_batches += 1
         train_loss.append(epoch_loss / max(n_batches, 1))
-        loss, _ = _evaluate(
+        loss, _, _ = _evaluate(
             model, dataset.validation, config.batch_size, cache=val_cache
         )
         val_loss.append(loss)

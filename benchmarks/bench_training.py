@@ -229,7 +229,7 @@ def seed_fit(dataset, config):
             epoch_loss += loss.item()
             n_batches += 1
         train_loss.append(epoch_loss / max(n_batches, 1))
-        loss, _ = _evaluate(model, dataset.validation, config.batch_size)
+        loss, _, _ = _evaluate(model, dataset.validation, config.batch_size)
         val_loss.append(loss)
         if dataset.validation and loss <= best_loss:
             best_loss, best_epoch, best_state = loss, epoch, model.state_dict()

@@ -1,0 +1,107 @@
+"""Adam vs K-FAC-preconditioned Adam on the c2670 attack dataset.
+
+Runs in about a minute::
+
+    python examples/kfac_convergence.py
+
+Trains the link-prediction DGCNN twice on a D-MUX-locked c2670 — once
+with the fused Adam and early stopping, once with the K-FAC
+preconditioner layered on top of the same Adam — and reports how many
+epochs each needs to reach the Adam run's best validation AUC.  The
+K-FAC knobs mirror ``benchmarks/bench_kfac.py``: inverses refreshed once
+per epoch, statistics collected twice per epoch, and the 641-wide first
+dense layer left on the raw-gradient path (cheaper *and* better here).
+
+Also demonstrates optimizer swap-and-resume: the Adam run's checkpoint
+restarts under K-FAC (the preconditioner cold-starts; Adam's moments
+carry over), which is how a half-trained figure grid can be upgraded.
+"""
+
+import os
+import tempfile
+
+from repro import TrainConfig, load_benchmark, lock_dmux
+from repro.linkpred import (
+    Trainer,
+    build_link_dataset,
+    extract_attack_graph,
+    sample_links,
+)
+
+PATIENCE = 5
+MAX_EPOCHS = 24
+KFAC = dict(
+    optimizer="kfac",
+    kfac_damping=1e-3,
+    kfac_inv_every=22,
+    kfac_cov_every=11,
+    kfac_max_dim=256,
+)
+
+
+def main() -> None:
+    # 1. The bench workload: c2670, 32-key D-MUX lock, 1200 links. -------
+    base = load_benchmark("c2670", scale=1.0)
+    locked = lock_dmux(base, key_size=32, seed=0)
+    graph = extract_attack_graph(locked.circuit)
+    sample = sample_links(graph, max_links=1200, seed=0)
+    dataset = build_link_dataset(graph, sample, h=3)
+    print(
+        f"c2670 attack dataset: {len(dataset.train)} train / "
+        f"{len(dataset.validation)} val subgraphs"
+    )
+
+    # 2. Adam with early stopping sets the bar. --------------------------
+    adam = Trainer(
+        dataset,
+        TrainConfig(
+            epochs=MAX_EPOCHS, learning_rate=1e-3, seed=0, patience=PATIENCE
+        ),
+    )
+    _, h_adam = adam.fit()
+    target = h_adam.val_auc[h_adam.best_epoch]
+    print(
+        f"adam:  best val AUC {target:.4f} at epoch {h_adam.best_epoch + 1}, "
+        f"stopped after {h_adam.epochs_run} epochs (patience={PATIENCE})"
+    )
+
+    # 3. K-FAC chases the same AUC. --------------------------------------
+    kfac = Trainer(
+        dataset,
+        TrainConfig(epochs=MAX_EPOCHS, learning_rate=1e-3, seed=0, **KFAC),
+    )
+    _, h_kfac = kfac.fit()
+    reached = next(
+        (i + 1 for i, auc in enumerate(h_kfac.val_auc) if auc >= target), None
+    )
+    if reached is None:
+        print(f"kfac:  did not reach {target:.4f} in {MAX_EPOCHS} epochs")
+    else:
+        saved = 1 - reached / h_adam.epochs_run
+        print(
+            f"kfac:  reached {target:.4f} at epoch {reached} "
+            f"({saved:.0%} fewer epochs than adam)"
+        )
+
+    # 4. Swap-and-resume: an Adam checkpoint restarts under K-FAC. -------
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "adam.ckpt")
+        half = Trainer(
+            dataset, TrainConfig(epochs=4, learning_rate=1e-3, seed=0)
+        )
+        half.fit()
+        half.save_checkpoint(path)
+        resumed = Trainer(
+            dataset,
+            TrainConfig(epochs=8, learning_rate=1e-3, seed=0, **KFAC),
+        )
+        resumed.load_checkpoint(path)
+        _, h_resumed = resumed.fit()
+    print(
+        f"swap-and-resume: 4 adam epochs -> 4 kfac epochs, "
+        f"final val AUC {h_resumed.val_auc[-1]:.4f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -110,6 +110,14 @@ def _cmd_attack(args: argparse.Namespace) -> int:
             checkpoint_every=args.checkpoint_every,
             resume=args.resume,
             log_every=args.log_every,
+            optimizer=args.optimizer,
+            kfac_damping=args.kfac_damping,
+            kfac_ema_decay=args.kfac_ema_decay,
+            kfac_inv_every=args.kfac_inv_every,
+            kfac_cov_every=args.kfac_cov_every,
+            kfac_max_dim=args.kfac_max_dim,
+            grad_shards=args.grad_shards,
+            n_train_workers=args.train_workers,
         ),
         seed=args.seed,
         n_workers=args.workers,
@@ -146,6 +154,13 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     )
 
     scale = scale_by_name(args.scale) if args.scale else active_scale()
+    if args.train_workers is not None:
+        # Execution-only knob: sharded-gradient training results are
+        # bit-identical for any worker count, so this never invalidates
+        # cached artifacts.
+        from dataclasses import replace
+
+        scale = replace(scale, n_train_workers=args.train_workers)
     drivers = {
         7: (run_fig7, format_fig7),
         8: (run_fig8, format_fig8),
@@ -336,6 +351,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="print training progress every N epochs (0 = silent)",
     )
     p.add_argument(
+        "--optimizer",
+        choices=("adam", "kfac"),
+        default="adam",
+        help="training optimizer: plain Adam or K-FAC-preconditioned Adam",
+    )
+    p.add_argument(
+        "--kfac-damping",
+        type=float,
+        default=1e-3,
+        help="K-FAC Tikhonov damping added to the Kronecker factors",
+    )
+    p.add_argument(
+        "--kfac-ema-decay",
+        type=float,
+        default=0.95,
+        help="EMA decay of the K-FAC curvature factor running averages",
+    )
+    p.add_argument(
+        "--kfac-inv-every",
+        type=int,
+        default=10,
+        help="recompute the damped factor inverses every N optimizer steps",
+    )
+    p.add_argument(
+        "--kfac-cov-every",
+        type=int,
+        default=1,
+        help="collect curvature statistics every N optimizer steps "
+        "(larger values amortize the collection cost)",
+    )
+    p.add_argument(
+        "--kfac-max-dim",
+        type=int,
+        default=0,
+        help="skip preconditioning for factor dimensions beyond this "
+        "(0 = no cap; capped layers keep their raw gradient)",
+    )
+    p.add_argument(
+        "--grad-shards",
+        type=int,
+        default=1,
+        help="gradient shards per optimizer step (semantic: fixes the "
+        "reduction order of the loss curve)",
+    )
+    p.add_argument(
+        "--train-workers",
+        type=int,
+        default=1,
+        help="processes executing the gradient shards (pure execution "
+        "knob; results identical for any worker count)",
+    )
+    p.add_argument(
         "--dtype",
         choices=("float32", "float64"),
         default=None,
@@ -387,6 +454,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment preset (default: REPRO_EXPERIMENT_SCALE or ci)",
     )
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--train-workers",
+        type=int,
+        default=None,
+        help="processes executing gradient shards during training "
+        "(default: REPRO_TRAIN_WORKERS or the preset; results identical "
+        "for any worker count)",
+    )
     p.add_argument(
         "--store",
         default=None,

@@ -19,8 +19,8 @@ from repro.gnn import DGCNN
 from repro.linkpred import (
     AttackGraph,
     TrainConfig,
-    Trainer,
     TrainHistory,
+    make_trainer,
     build_link_dataset,
     build_target_examples,
     extract_attack_graph,
@@ -159,9 +159,11 @@ def run_muxlink(
     runtime["sampling"] = time.perf_counter() - start
 
     start = time.perf_counter()
-    # The Trainer owns batch caching, early stopping, LR scheduling and
-    # checkpoint/resume; all knobs arrive through ``config.train``.
-    model, history = Trainer(dataset, config.train).fit()
+    # The trainer owns batch caching, early stopping, LR scheduling and
+    # checkpoint/resume; all knobs arrive through ``config.train``
+    # (make_trainer picks the serial or gradient-sharded engine, and the
+    # K-FAC preconditioner when configured).
+    model, history = make_trainer(dataset, config.train).fit()
     runtime["training"] = time.perf_counter() - start
 
     start = time.perf_counter()

@@ -78,6 +78,16 @@ class ExperimentScale:
         score_prefetch: in-flight batch budget of the streamed
             extract→score pipeline passed to :class:`MuxLinkConfig`
             (overridable via ``REPRO_SCORE_PREFETCH``; ``0`` = serial).
+        optimizer: training optimizer — ``"adam"`` or ``"kfac"``
+            (K-FAC-preconditioned Adam); a *semantic* knob, part of the
+            artifact identity.
+        grad_shards: gradient shards per optimizer step (semantic, like
+            ``optimizer`` — it fixes the reduction order of the loss
+            curve and is folded into the config token).
+        n_train_workers: processes executing those shards
+            (overridable via ``REPRO_TRAIN_WORKERS``; pure execution
+            knob, normalized out of the config token — results are
+            bit-identical for any worker count).
     """
 
     name: str
@@ -95,6 +105,9 @@ class ExperimentScale:
     hd_patterns: int = 10_000
     n_workers: int = 0
     score_prefetch: int = 2
+    optimizer: str = "adam"
+    grad_shards: int = 1
+    n_train_workers: int = 1
 
     def benchmarks(self) -> tuple[tuple[str, float, tuple[int, ...]], ...]:
         """``(name, scale, key_sizes)`` for every included benchmark."""
@@ -112,6 +125,9 @@ class ExperimentScale:
         prefetch = int(
             os.environ.get("REPRO_SCORE_PREFETCH", self.score_prefetch)
         )
+        train_workers = int(
+            os.environ.get("REPRO_TRAIN_WORKERS", self.n_train_workers)
+        )
         return MuxLinkConfig(
             h=self.h,
             threshold=self.threshold,
@@ -120,6 +136,9 @@ class ExperimentScale:
                 learning_rate=self.learning_rate,
                 patience=self.patience,
                 seed=seed,
+                optimizer=self.optimizer,
+                grad_shards=self.grad_shards,
+                n_train_workers=train_workers,
             ),
             seed=seed,
             n_workers=workers,

@@ -28,6 +28,7 @@ from repro.linkpred.trainer import (
     TrainConfig,
     Trainer,
     TrainHistory,
+    make_trainer,
     score_examples,
     score_stream,
     train_link_predictor,
@@ -51,6 +52,7 @@ __all__ = [
     "iter_target_examples",
     "TrainConfig",
     "Trainer",
+    "make_trainer",
     "TrainHistory",
     "train_link_predictor",
     "score_examples",

@@ -44,12 +44,13 @@ from repro.gnn import (
     choose_sortpool_k,
 )
 from repro.linkpred.dataset import LinkDataset
-from repro.nn import Adam, default_dtype
+from repro.nn import KFAC, Adam, default_dtype
 
 __all__ = [
     "TrainConfig",
     "TrainHistory",
     "Trainer",
+    "make_trainer",
     "train_link_predictor",
     "score_examples",
     "score_stream",
@@ -78,6 +79,34 @@ class TrainConfig:
         lr_decay: multiplicative LR decay factor.
         lr_decay_every: apply ``lr_decay`` every this many epochs
             (``0`` disables scheduling).
+        optimizer: ``"adam"`` (the paper's update rule) or ``"kfac"``
+            (K-FAC-preconditioned Adam — second-order curvature fixes the
+            gradient direction, Adam keeps the per-parameter scaling).
+            A *semantic* knob: it changes the trajectory and therefore
+            the artifact identity.
+        kfac_damping: Tikhonov damping λ of the Kronecker factor
+            inverses (``"kfac"`` only).
+        kfac_ema_decay: EMA decay of the curvature factors.
+        kfac_inv_every: recompute the damped exact inverses every this
+            many steps.
+        kfac_cov_every: collect curvature statistics every this many
+            steps (``1`` = every step; larger values amortize the
+            collection cost, the EMA factors coast in between).
+        kfac_max_dim: skip preconditioning for blocks whose factor
+            dimension exceeds this (``0`` = no cap).  The widest block —
+            the first dense layer — costs an order of magnitude more to
+            invert than all others combined; capped blocks keep their
+            raw gradient.
+        grad_shards: per-step gradient shard count — another *semantic*
+            knob: each optimizer step averages this many fixed
+            contiguous shards of the shuffled batch (weighted by shard
+            size, reduced in shard order), so the trajectory depends on
+            it but on nothing about how the shards are executed.  ``1``
+            is exactly the single-batch formulation.
+        n_train_workers: *execution* knob — how many processes the
+            shards of a step are distributed over (capped at
+            ``grad_shards``).  Any value produces bit-identical results,
+            so the artifact store normalizes it out of the config token.
         checkpoint_path: where :class:`Trainer` persists its state.
         checkpoint_every: save a checkpoint every N epochs (``0`` = only
             the final one; ignored without ``checkpoint_path``).
@@ -93,19 +122,48 @@ class TrainConfig:
     patience: int | None = None
     lr_decay: float = 1.0
     lr_decay_every: int = 0
+    optimizer: str = "adam"
+    kfac_damping: float = 1e-3
+    kfac_ema_decay: float = 0.95
+    kfac_inv_every: int = 10
+    kfac_cov_every: int = 1
+    kfac_max_dim: int = 0
+    grad_shards: int = 1
+    n_train_workers: int = 1
     checkpoint_path: str | None = None
     checkpoint_every: int = 0
     resume: bool = False
     log_every: int = 0
 
+    def __post_init__(self) -> None:
+        if self.optimizer not in ("adam", "kfac"):
+            raise ValueError(
+                f"optimizer must be 'adam' or 'kfac', got {self.optimizer!r}"
+            )
+        if self.grad_shards < 1:
+            raise ValueError(f"grad_shards must be >= 1, got {self.grad_shards}")
+        if self.kfac_cov_every < 1:
+            raise ValueError(
+                f"kfac_cov_every must be >= 1, got {self.kfac_cov_every}"
+            )
+        if self.kfac_max_dim < 0:
+            raise ValueError(
+                f"kfac_max_dim must be >= 0, got {self.kfac_max_dim}"
+            )
+        if self.n_train_workers < 1:
+            raise ValueError(
+                f"n_train_workers must be >= 1, got {self.n_train_workers}"
+            )
+
 
 @dataclass
 class TrainHistory:
-    """Per-epoch train loss, validation loss/accuracy and learning rate."""
+    """Per-epoch train loss, validation loss/accuracy/AUC and learning rate."""
 
     train_loss: list[float] = field(default_factory=list)
     val_loss: list[float] = field(default_factory=list)
     val_accuracy: list[float] = field(default_factory=list)
+    val_auc: list[float] = field(default_factory=list)
     learning_rates: list[float] = field(default_factory=list)
     best_epoch: int = -1
     best_val_accuracy: float = 0.0
@@ -134,18 +192,40 @@ def _iter_batches(
             yield build_batch(examples[start : start + batch_size])
 
 
+def _roc_auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """ROC AUC via the Mann-Whitney rank statistic (average-tie ranks).
+
+    ``nan`` for single-class label sets — with tiny validation splits a
+    class can be absent, and a fake 0.5 would poison best-epoch logic.
+    """
+    from scipy.stats import rankdata
+
+    labels = np.asarray(labels)
+    scores = np.asarray(scores, dtype=np.float64)
+    n_pos = int((labels == 1).sum())
+    n_neg = labels.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        return float("nan")
+    ranks = rankdata(scores)
+    pos_rank_sum = float(ranks[labels == 1].sum())
+    return (pos_rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+
+
 def _evaluate(
     model: DGCNN,
     examples: Sequence[GraphExample],
     batch_size: int,
     cache: BatchCache | None = None,
-) -> tuple[float, float]:
-    """``(mean cross-entropy, accuracy)`` over *examples* in eval mode."""
+) -> tuple[float, float, float]:
+    """``(mean cross-entropy, accuracy, ROC AUC)`` over *examples* in
+    eval mode."""
     n = cache.n_examples if cache is not None else len(examples)
     if n == 0:
-        return float("nan"), float("nan")
+        return float("nan"), float("nan"), float("nan")
     correct = 0
     loss_sum = 0.0
+    all_probs: list[np.ndarray] = []
+    all_labels: list[np.ndarray] = []
     for batch in _iter_batches(examples, batch_size, cache):
         probs = model.predict_proba(batch)
         labels = batch.labels
@@ -153,7 +233,10 @@ def _evaluate(
         correct += int((predicted == labels).sum())
         clipped = np.clip(np.where(labels == 1, probs, 1 - probs), 1e-12, 1.0)
         loss_sum += float(-np.log(clipped).sum())
-    return loss_sum / n, correct / n
+        all_probs.append(probs)
+        all_labels.append(labels)
+    auc = _roc_auc(np.concatenate(all_labels), np.concatenate(all_probs))
+    return loss_sum / n, correct / n, auc
 
 
 def score_examples(
@@ -276,7 +359,11 @@ def score_stream(
 #: the same bit-identical resume guarantee, minus pickle's
 #: arbitrary-code-on-load hazard).  Version-1 pickle checkpoints are
 #: reported as unreadable, not silently migrated.
-_CHECKPOINT_VERSION = 2
+#: Version 3 adds the optimizer name, the K-FAC preconditioner state and
+#: the per-epoch validation AUC; version-2 checkpoints still load (the
+#: preconditioner cold-starts, ``val_auc`` backfills empty).
+_CHECKPOINT_VERSION = 3
+_LEGACY_CHECKPOINT_VERSIONS = frozenset({2})
 _CHECKPOINT_KIND = "trainer-checkpoint"
 
 
@@ -311,6 +398,16 @@ class Trainer:
             in_features=dataset.feature_width, k=k, seed=config.seed
         )
         self.optimizer = Adam(self.model.parameters(), lr=config.learning_rate)
+        self.preconditioner: KFAC | None = None
+        if config.optimizer == "kfac":
+            self.preconditioner = KFAC(
+                self.model,
+                damping=config.kfac_damping,
+                ema_decay=config.kfac_ema_decay,
+                inv_every=config.kfac_inv_every,
+                cov_every=config.kfac_cov_every,
+                max_block_dim=config.kfac_max_dim or None,
+            )
         self.rng = np.random.default_rng(config.seed)
         self.history = TrainHistory()
         self.epoch = 0
@@ -362,26 +459,22 @@ class Trainer:
         epoch_loss = 0.0
         n_batches = 0
         order = self.rng.permutation(len(self.train_assembler))
-        for start in range(0, len(order), config.batch_size):
-            # One batch in flight at a time, so the assembler's recycled
-            # scratch buffers are safe (reuse_buffers contract).
-            batch = self.train_assembler.assemble(
-                order[start : start + config.batch_size], reuse_buffers=True
+        for step_index, start in enumerate(
+            range(0, len(order), config.batch_size)
+        ):
+            epoch_loss += self._train_step(
+                order[start : start + config.batch_size], step_index
             )
-            self.optimizer.zero_grad()
-            loss = self.model.loss(batch)
-            loss.backward()
-            self.optimizer.step()
-            epoch_loss += loss.item()
             n_batches += 1
         self.history.train_loss.append(epoch_loss / max(n_batches, 1))
 
-        val_loss, val_acc = _evaluate(
+        val_loss, val_acc, val_auc = _evaluate(
             self.model, self.dataset.validation, config.batch_size,
             cache=self.val_cache,
         )
         self.history.val_loss.append(val_loss)
         self.history.val_accuracy.append(val_acc)
+        self.history.val_auc.append(val_auc)
         # Model selection on validation *loss*: with small validation sets
         # the quantized accuracy makes early flukes win; cross-entropy is a
         # smoother criterion.  With no validation split the final weights win.
@@ -406,6 +499,32 @@ class Trainer:
                 f"  ({seconds:.2f}s)"
             )
 
+    def _train_step(self, indices: np.ndarray, step_index: int) -> float:
+        """One optimizer step over the batch *indices*; returns the loss.
+
+        The serial formulation: assemble, forward, backward (under the
+        curvature tap when K-FAC is configured), precondition, step.
+        :class:`~repro.linkpred.parallel.DataParallelTrainer` overrides
+        this with the sharded formulation — everything around it
+        (shuffle, evaluation, checkpointing) is shared.
+        """
+        # One batch in flight at a time, so the assembler's recycled
+        # scratch buffers are safe (reuse_buffers contract).
+        batch = self.train_assembler.assemble(indices, reuse_buffers=True)
+        self.optimizer.zero_grad()
+        loss = self.model.loss(batch)
+        if self.preconditioner is not None:
+            if self.preconditioner.wants_statistics():
+                with self.preconditioner.collecting():
+                    loss.backward()
+            else:
+                loss.backward()
+            self.preconditioner.step()
+        else:
+            loss.backward()
+        self.optimizer.step()
+        return loss.item()
+
     def _patience_exhausted(self) -> bool:
         patience = self.config.patience
         if patience is None or patience <= 0 or not self.dataset.validation:
@@ -428,6 +547,12 @@ class Trainer:
             "model_state": self.model.state_dict(),
             "best_state": [a.copy() for a in self._best_state],
             "optimizer_state": self.optimizer.state_dict(),
+            "optimizer_name": self.config.optimizer,
+            "preconditioner_state": (
+                None
+                if self.preconditioner is None
+                else self.preconditioner.state_dict()
+            ),
             "lr": self.optimizer.lr,
             "shuffle_rng_state": self.rng.bit_generator.state,
             "dropout_rng_state": self.model.dropout.rng.bit_generator.state,
@@ -461,9 +586,13 @@ class Trainer:
                 f"unreadable checkpoint {path!r} — corrupt, or written by "
                 f"the pre-npz pickle format ({exc})"
             ) from exc
-        if payload.get("version") != _CHECKPOINT_VERSION:
+        version = payload.get("version")
+        if (
+            version != _CHECKPOINT_VERSION
+            and version not in _LEGACY_CHECKPOINT_VERSIONS
+        ):
             raise TrainingError(
-                f"unsupported checkpoint version {payload.get('version')!r}"
+                f"unsupported checkpoint version {version!r}"
             )
         saved = payload["config"]
         if (
@@ -497,6 +626,31 @@ class Trainer:
                 "checkpoint belongs to a different dataset/model "
                 f"(saved vs current: {mismatched})"
             )
+        # Validate parameter-shape agreement across the whole payload
+        # *before* assigning any state: a checkpoint from a different
+        # architecture fails here with a clear error, not as a broadcast
+        # error half-way through an in-place arena write.
+        try:
+            self._check_state_shapes(payload)
+        except ValueError as exc:
+            raise TrainingError(
+                f"checkpoint {path!r} does not fit this model: {exc}"
+            ) from exc
+        # An optimizer swap across the checkpoint boundary is allowed
+        # (Adam moments transfer; it is the same underlying update rule):
+        # resuming an Adam checkpoint with K-FAC enabled cold-starts the
+        # preconditioner, and preconditioner state from a K-FAC
+        # checkpoint is ignored by an Adam resume.  Loaded first — it
+        # validates its own block shapes, and nothing else may have been
+        # mutated if that fails.
+        preconditioner_state = payload.get("preconditioner_state")
+        if self.preconditioner is not None and preconditioner_state is not None:
+            try:
+                self.preconditioner.load_state_dict(preconditioner_state)
+            except ValueError as exc:
+                raise TrainingError(
+                    f"checkpoint {path!r} does not fit this model: {exc}"
+                ) from exc
         self.epoch = int(payload["epoch"])
         self.model.load_state_dict(payload["model_state"])
         self._best_state = [a.copy() for a in payload["best_state"]]
@@ -504,11 +658,62 @@ class Trainer:
         self.optimizer.lr = float(payload["lr"])
         self.rng.bit_generator.state = payload["shuffle_rng_state"]
         self.model.dropout.rng.bit_generator.state = payload["dropout_rng_state"]
-        self.history = TrainHistory(**payload["history"])
+        history = dict(payload["history"])
+        history.setdefault("val_auc", [])  # absent in version-2 checkpoints
+        self.history = TrainHistory(**history)
         # Re-derive the early-stop gate under *this* trainer's config: a
         # checkpoint written by an early-stopped run must resume training
         # when the patience budget has been raised or disabled.
         self.history.stopped_early = self._patience_exhausted()
+
+    def _check_state_shapes(self, payload: dict) -> None:
+        """Raise ``ValueError`` when any persisted array does not match
+        this model's parameters (checked before anything is assigned)."""
+        params = self.model.parameters()
+        for name in ("model_state", "best_state"):
+            state = payload[name]
+            if len(state) != len(params):
+                raise ValueError(
+                    f"{name} has {len(state)} arrays, model has {len(params)}"
+                )
+            for i, (param, data) in enumerate(zip(params, state)):
+                if np.asarray(data).shape != param.data.shape:
+                    raise ValueError(
+                        f"{name}[{i}] has shape {np.asarray(data).shape}, "
+                        f"parameter has shape {param.data.shape}"
+                    )
+        optimizer_state = payload["optimizer_state"]
+        for name in ("m", "v"):
+            moments = optimizer_state[name]
+            if len(moments) != len(params):
+                raise ValueError(
+                    f"optimizer state has {len(moments)} {name!r} arrays, "
+                    f"model has {len(params)} parameters"
+                )
+            for i, (param, data) in enumerate(zip(params, moments)):
+                if np.asarray(data).shape != param.data.shape:
+                    raise ValueError(
+                        f"optimizer {name}[{i}] has shape "
+                        f"{np.asarray(data).shape}, parameter has shape "
+                        f"{param.data.shape}"
+                    )
+
+
+def make_trainer(dataset: LinkDataset, config: TrainConfig = TrainConfig()):
+    """Build the right training engine for *config*.
+
+    ``grad_shards == 1`` (the default) is the serial :class:`Trainer` —
+    the exact historical formulation, whatever ``n_train_workers`` says
+    (one shard cannot be distributed).  ``grad_shards > 1`` returns a
+    :class:`~repro.linkpred.parallel.DataParallelTrainer`, whose
+    trajectory is a function of the shard count alone: the worker count
+    only changes which process executes each shard.
+    """
+    if config.grad_shards > 1:
+        from repro.linkpred.parallel import DataParallelTrainer
+
+        return DataParallelTrainer(dataset, config)
+    return Trainer(dataset, config)
 
 
 def train_link_predictor(
@@ -516,11 +721,12 @@ def train_link_predictor(
 ) -> tuple[DGCNN, TrainHistory]:
     """Train a DGCNN on *dataset*, restoring the best-validation weights.
 
-    Thin compatibility wrapper over :class:`Trainer` (which adds early
-    stopping, LR scheduling and checkpoint/resume — all reachable through
-    the :class:`TrainConfig` fields).
+    Thin compatibility wrapper over :func:`make_trainer` (which adds
+    early stopping, LR scheduling, checkpoint/resume, the K-FAC
+    preconditioner and gradient sharding — all reachable through the
+    :class:`TrainConfig` fields).
 
     Returns:
         ``(model, history)``; the model is in eval mode.
     """
-    return Trainer(dataset, config).fit()
+    return make_trainer(dataset, config).fit()

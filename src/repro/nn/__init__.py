@@ -13,11 +13,13 @@ back to ``ell`` when numba is missing).  All backends are bit-identical
 in float64.
 """
 
+from repro.nn.curvature import CurvatureCollector, collecting, record, tap_active
 from repro.nn.functional import (
     conv1d,
     dropout,
     gather_rows,
     graph_conv,
+    linear,
     log_softmax,
     max_pool1d,
     segment_max,
@@ -30,7 +32,7 @@ from repro.nn.functional import (
     stack_columns,
 )
 from repro.nn.layers import Conv1d, Dropout, GraphConv, Linear, Module
-from repro.nn.optim import SGD, Adam
+from repro.nn.optim import KFAC, SGD, Adam
 from repro.nn.sparse import (
     BlockEll,
     SparseOp,
@@ -91,11 +93,17 @@ __all__ = [
     "log_softmax",
     "softmax",
     "softmax_cross_entropy",
+    "linear",
     "Module",
     "Linear",
     "Conv1d",
     "Dropout",
     "GraphConv",
     "Adam",
+    "KFAC",
     "SGD",
+    "CurvatureCollector",
+    "collecting",
+    "record",
+    "tap_active",
 ]

@@ -14,10 +14,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.curvature import record as _record_curvature
+from repro.nn.curvature import tap_active as _tap_active
 from repro.nn.tensor import Tensor, Workspace, is_grad_enabled
 
 __all__ = [
     "conv1d",
+    "linear",
     "max_pool1d",
     "dropout",
     "graph_conv",
@@ -107,6 +110,9 @@ def conv1d(
         # grad: (batch, c_out, t_out) -> channel-major (c_out, batch * t_out)
         nonlocal released
         g_f = np.ascontiguousarray(grad.transpose(1, 0, 2)).reshape(c_out, -1)
+        if _tap_active():
+            # Before the im2col buffer is released: cols is workspace-owned.
+            _record_curvature(weight, cols.T, g_f.T, bias)
         if bias.requires_grad:
             bias._accumulate_owned(g_f.sum(axis=1))
         if weight.requires_grad:
@@ -153,6 +159,8 @@ def _conv1d_flat(
     def backward(grad: np.ndarray) -> None:
         # grad: (batch, c_out, t_out) -> flat (batch * t_out, c_out)
         g2 = np.ascontiguousarray(grad.transpose(0, 2, 1)).reshape(-1, c_out)
+        if _tap_active():
+            _record_curvature(weight, windows, g2, bias)
         if bias.requires_grad:
             bias._accumulate_owned(g2.sum(axis=0))
         if weight.requires_grad:
@@ -167,6 +175,34 @@ def _conv1d_flat(
                     batch, -1
                 )
             x._accumulate_owned(gx)
+
+    return Tensor._make(out, (x, weight, bias), backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor) -> Tensor:
+    """Fused dense layer ``x @ W + b``.
+
+    One tape node instead of two (matmul → add), with arithmetic and
+    gradients identical bit for bit to the composed tensor ops: the
+    forward is the same two ufunc/GEMM calls, and the backward produces
+    ``dW = xᵀ grad``, ``db = grad.sum(axis=0)`` (what ``_unbroadcast``
+    reduces the add gradient to for a 1-D bias) and ``dx = grad Wᵀ``.
+    Being a single node also gives the curvature tap its dense-layer
+    ``(acts, grad_out)`` pair.
+    """
+    if x.ndim != 2:
+        raise ValueError(f"expected (batch, in_features) input, got {x.shape}")
+    out = x.data @ weight.data + bias.data
+
+    def backward(grad: np.ndarray) -> None:
+        if _tap_active():
+            _record_curvature(weight, x.data, grad, bias)
+        if bias.requires_grad:
+            bias._accumulate_owned(grad.sum(axis=0))
+        if weight.requires_grad:
+            weight._accumulate_owned(x.data.T @ grad)
+        if x.requires_grad:
+            x._accumulate_owned(grad @ weight.data.T)
 
     return Tensor._make(out, (x, weight, bias), backward)
 
@@ -349,6 +385,11 @@ def graph_conv(
             if workspace is not None
             else None,
         )
+        if _tap_active():
+            # The layer is linear in W with input H and back-propagated
+            # pre-activation gradient A^T g' (= ga): dW = H^T ga, so
+            # (H, ga) is exactly the layer's effective curvature pair.
+            _record_curvature(weight, h.data, ga)
         if weight.requires_grad:
             weight._accumulate_owned(h.data.T @ ga)
         if h.requires_grad:
@@ -484,6 +525,10 @@ def sortpool_conv(
     def backward(grad: np.ndarray) -> None:
         # grad: (B, c_out, k) -> row-major (B * k, c_out)
         g2 = np.ascontiguousarray(grad.transpose(0, 2, 1)).reshape(rows, c_out)
+        if _tap_active():
+            # The pooled H^{1:L} matrix the fusion avoids is the layer's
+            # input; assemble it only on K-FAC runs.
+            _record_curvature(weight, np.hstack(gathered), g2, bias)
         if bias.requires_grad:
             bias._accumulate_owned(g2.sum(axis=0))
         if weight.requires_grad:

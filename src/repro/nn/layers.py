@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.functional import conv1d, dropout, graph_conv
+from repro.nn.functional import conv1d, dropout, graph_conv, linear
 from repro.nn.tensor import Tensor, Workspace
 
 __all__ = ["Module", "Linear", "Conv1d", "Dropout", "GraphConv"]
@@ -64,11 +64,15 @@ class Module:
             raise ValueError(
                 f"state has {len(state)} arrays, model has {len(params)}"
             )
-        for param, data in zip(params, state):
-            if param.data.shape != data.shape:
+        # Validate every shape before assigning any: a mismatch half-way
+        # through must not leave the model partially overwritten.
+        for i, (param, data) in enumerate(zip(params, state)):
+            if param.data.shape != np.asarray(data).shape:
                 raise ValueError(
-                    f"shape mismatch {param.data.shape} vs {data.shape}"
+                    f"parameter {i}: shape mismatch "
+                    f"{param.data.shape} vs {np.asarray(data).shape}"
                 )
+        for param, data in zip(params, state):
             param.data = np.asarray(data, dtype=param.data.dtype).copy()
 
 
@@ -88,7 +92,7 @@ class Linear(Module):
         self.bias = Tensor(np.zeros(out_features), requires_grad=True)
 
     def __call__(self, x: Tensor) -> Tensor:
-        return x @ self.weight + self.bias
+        return linear(x, self.weight, self.bias)
 
 
 class Conv1d(Module):

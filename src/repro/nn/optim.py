@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.curvature import KFAC
 from repro.nn.tensor import Tensor
 
-__all__ = ["Adam", "SGD"]
+__all__ = ["Adam", "KFAC", "SGD"]
 
 
 class SGD:
@@ -150,11 +151,23 @@ class Adam:
         }
 
     def load_state_dict(self, state: dict) -> None:
-        if len(state["m"]) != len(self.params):
-            raise ValueError(
-                f"state has {len(state['m'])} moment arrays, "
-                f"optimizer has {len(self.params)} parameters"
-            )
+        for name in ("m", "v"):
+            if len(state[name]) != len(self.params):
+                raise ValueError(
+                    f"state has {len(state[name])} {name!r} moment arrays, "
+                    f"optimizer has {len(self.params)} parameters"
+                )
+        # Validate every moment shape before touching the arenas: a
+        # checkpoint from a different architecture must fail cleanly, not
+        # as a broadcast error half-way through an in-place arena write.
+        for i, param in enumerate(self.params):
+            for name in ("m", "v"):
+                shape = np.asarray(state[name][i]).shape
+                if shape != param.data.shape:
+                    raise ValueError(
+                        f"parameter {i}: {name!r} moment has shape {shape}, "
+                        f"parameter has shape {param.data.shape}"
+                    )
         self.t = int(state["t"])
         for i, param in enumerate(self.params):
             # In-place view writes keep the fused arenas coherent.

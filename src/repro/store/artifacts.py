@@ -51,8 +51,10 @@ __all__ = [
 
 #: Bump when the payload layouts below change incompatibly.  Folded into
 #: every content key, so a format change invalidates (rather than
-#: misreads) existing entries.
-ARTIFACT_VERSION = 1
+#: misreads) existing entries.  Version 2: the config token grew the
+#: optimizer choice (plus its K-FAC knobs) and the gradient shard count,
+#: and attack histories carry the per-epoch validation AUC.
+ARTIFACT_VERSION = 2
 
 
 def _hexdigest(text: str) -> str:
@@ -82,14 +84,38 @@ def config_token(config) -> str:
 
     The post-processing ``threshold`` is normalized out (Fig. 9 rescales
     a cached result without retraining) and so are the pure execution
-    knobs — ``n_workers``, ``score_prefetch``, checkpoint/log plumbing —
-    which are guaranteed not to move a single bit of the result.  The
-    numeric runtime dtype *is* folded in: float32 and float64 runs are
-    different artifacts.
+    knobs — ``n_workers``, ``score_prefetch``, ``n_train_workers``,
+    checkpoint/log plumbing — which are guaranteed not to move a single
+    bit of the result.  The numeric runtime dtype *is* folded in
+    (float32 and float64 runs are different artifacts), and so are the
+    optimizer choice and the gradient shard count: both change the
+    training trajectory.  The K-FAC hyper-parameters appear only when
+    the optimizer is ``"kfac"`` — under Adam they are inert, and keying
+    on inert knobs would split identical results across addresses.
     """
     from repro.nn import default_dtype
 
     train = config.train
+    train_token: dict[str, Any] = {
+        "epochs": train.epochs,
+        "learning_rate": train.learning_rate,
+        "batch_size": train.batch_size,
+        "sortpool_percentile": train.sortpool_percentile,
+        "seed": train.seed,
+        "patience": train.patience,
+        "lr_decay": train.lr_decay,
+        "lr_decay_every": train.lr_decay_every,
+        "optimizer": train.optimizer,
+        "grad_shards": train.grad_shards,
+    }
+    if train.optimizer == "kfac":
+        train_token["kfac"] = {
+            "damping": train.kfac_damping,
+            "ema_decay": train.kfac_ema_decay,
+            "inv_every": train.kfac_inv_every,
+            "cov_every": train.kfac_cov_every,
+            "max_dim": train.kfac_max_dim,
+        }
     return json.dumps(
         {
             "v": ARTIFACT_VERSION,
@@ -101,16 +127,7 @@ def config_token(config) -> str:
             "use_degree": config.use_degree,
             "seed": config.seed,
             "dtype": str(default_dtype()),
-            "train": {
-                "epochs": train.epochs,
-                "learning_rate": train.learning_rate,
-                "batch_size": train.batch_size,
-                "sortpool_percentile": train.sortpool_percentile,
-                "seed": train.seed,
-                "patience": train.patience,
-                "lr_decay": train.lr_decay,
-                "lr_decay_every": train.lr_decay_every,
-            },
+            "train": train_token,
         },
         sort_keys=True,
         separators=(",", ":"),
@@ -269,6 +286,7 @@ def encode_attack_artifact(result) -> dict:
             "val_accuracy": np.array(
                 result.history.val_accuracy, dtype=np.float64
             ),
+            "val_auc": np.array(result.history.val_auc, dtype=np.float64),
             "learning_rates": np.array(
                 result.history.learning_rates, dtype=np.float64
             ),
@@ -324,6 +342,8 @@ def decode_attack_artifact(payload: dict):
         train_loss=[float(x) for x in hist["train_loss"]],
         val_loss=[float(x) for x in hist["val_loss"]],
         val_accuracy=[float(x) for x in hist["val_accuracy"]],
+        # .get: version-1 artifacts predate per-epoch AUC tracking.
+        val_auc=[float(x) for x in hist.get("val_auc", [])],
         learning_rates=[float(x) for x in hist["learning_rates"]],
         best_epoch=int(hist["best_epoch"]),
         best_val_accuracy=float(hist["best_val_accuracy"]),

@@ -27,6 +27,7 @@ raises :class:`CodecError` instead of decoding into nonsense.
 
 from __future__ import annotations
 
+import io
 import json
 import os
 import uuid
@@ -37,7 +38,7 @@ import numpy as np
 
 from repro.errors import ReproError
 
-__all__ = ["CODEC_VERSION", "CodecError", "dump", "load"]
+__all__ = ["CODEC_VERSION", "CodecError", "dump", "dumps", "load", "loads"]
 
 #: Bump when the manifest layout below changes incompatibly.
 CODEC_VERSION = 1
@@ -93,14 +94,50 @@ def _expand(node: Any, arrays: dict[str, np.ndarray]) -> Any:
     return node
 
 
-def dump(payload: Any, path: str | os.PathLike, kind: str) -> None:
-    """Serialize *payload* to *path* atomically (tmp file + rename)."""
-    arrays: list[np.ndarray] = []
+def _manifest(payload: Any, kind: str, arrays: list[np.ndarray]) -> str:
     tree = _flatten(payload, arrays)
-    manifest = json.dumps(
+    return json.dumps(
         {"codec": CODEC_VERSION, "kind": kind, "tree": tree},
         separators=(",", ":"),
     )
+
+
+def dumps(payload: Any, kind: str) -> bytes:
+    """Serialize *payload* to an in-memory npz archive.
+
+    The byte-for-byte same format as :func:`dump` writes to disk — the
+    message flavour of the codec, used for process-boundary exchanges
+    (the data-parallel trainer ships model state, shard gradients and
+    curvature statistics this way) with the same bit-exact array and
+    arbitrary-precision-int round-trip guarantees.
+    """
+    arrays: list[np.ndarray] = []
+    manifest = _manifest(payload, kind, arrays)
+    buffer = io.BytesIO()
+    np.savez(
+        buffer,
+        **{_MANIFEST_ENTRY: np.array(manifest)},
+        **{f"a{i}": array for i, array in enumerate(arrays)},
+    )
+    return buffer.getvalue()
+
+
+def loads(blob: bytes, kind: str) -> Any:
+    """Decode a message written by :func:`dumps` (same checks as :func:`load`)."""
+    try:
+        with np.load(io.BytesIO(blob), allow_pickle=False) as archive:
+            manifest, arrays = _read_archive(archive, "<message>")
+    except CodecError:
+        raise
+    except Exception as exc:
+        raise CodecError(f"unreadable codec message ({exc})") from exc
+    return _check_manifest(manifest, arrays, "<message>", kind)
+
+
+def dump(payload: Any, path: str | os.PathLike, kind: str) -> None:
+    """Serialize *payload* to *path* atomically (tmp file + rename)."""
+    arrays: list[np.ndarray] = []
+    manifest = _manifest(payload, kind, arrays)
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     # Unique same-directory tmp name: concurrent writers never share a tmp
@@ -131,27 +168,38 @@ def load(path: str | os.PathLike, kind: str) -> Any:
     """
     try:
         with np.load(path, allow_pickle=False) as archive:
-            if _MANIFEST_ENTRY not in archive:
-                raise CodecError(f"{path}: not a repro.store artifact")
-            manifest = json.loads(str(archive[_MANIFEST_ENTRY][()]))
-            arrays = {
-                name: archive[name]
-                for name in archive.files
-                if name != _MANIFEST_ENTRY
-            }
+            manifest, arrays = _read_archive(archive, str(path))
     except FileNotFoundError:
         raise
     except CodecError:
         raise
     except Exception as exc:  # zipfile/json/numpy corruption flavours
         raise CodecError(f"{path}: unreadable artifact ({exc})") from exc
+    return _check_manifest(manifest, arrays, str(path), kind)
+
+
+def _read_archive(archive, source: str) -> tuple[dict, dict[str, np.ndarray]]:
+    if _MANIFEST_ENTRY not in archive:
+        raise CodecError(f"{source}: not a repro.store artifact")
+    manifest = json.loads(str(archive[_MANIFEST_ENTRY][()]))
+    arrays = {
+        name: archive[name]
+        for name in archive.files
+        if name != _MANIFEST_ENTRY
+    }
+    return manifest, arrays
+
+
+def _check_manifest(
+    manifest: dict, arrays: dict[str, np.ndarray], source: str, kind: str
+) -> Any:
     if manifest.get("codec") != CODEC_VERSION:
         raise CodecError(
-            f"{path}: codec version {manifest.get('codec')!r} "
+            f"{source}: codec version {manifest.get('codec')!r} "
             f"(this reader is {CODEC_VERSION})"
         )
     if manifest.get("kind") != kind:
         raise CodecError(
-            f"{path}: artifact kind {manifest.get('kind')!r}, expected {kind!r}"
+            f"{source}: artifact kind {manifest.get('kind')!r}, expected {kind!r}"
         )
     return _expand(manifest["tree"], arrays)

@@ -180,6 +180,44 @@ def test_config_token_normalizes_threshold_and_execution_knobs():
         assert config_token(config) != config_token(base)
 
 
+def test_config_token_normalizes_train_workers_but_not_shards():
+    base = MuxLinkConfig(h=2, seed=3, train=TrainConfig(epochs=5))
+    # Worker count is pure execution: results are bit-identical for any
+    # value, so it must not fracture the artifact pool.
+    workers = MuxLinkConfig(
+        h=2, seed=3, train=TrainConfig(epochs=5, n_train_workers=8)
+    )
+    assert config_token(workers) == config_token(base)
+    # The shard count fixes the gradient reduction order — semantic.
+    sharded = MuxLinkConfig(
+        h=2, seed=3, train=TrainConfig(epochs=5, grad_shards=2)
+    )
+    assert config_token(sharded) != config_token(base)
+
+
+def test_config_token_tracks_optimizer_and_kfac_knobs():
+    base = MuxLinkConfig(h=2, seed=3, train=TrainConfig(epochs=5))
+    kfac = MuxLinkConfig(
+        h=2, seed=3, train=TrainConfig(epochs=5, optimizer="kfac")
+    )
+    assert config_token(kfac) != config_token(base)
+    damped = MuxLinkConfig(
+        h=2,
+        seed=3,
+        train=TrainConfig(epochs=5, optimizer="kfac", kfac_damping=1e-2),
+    )
+    assert config_token(damped) != config_token(kfac)
+    # Under Adam the kfac_* knobs are inert — they must not move the token.
+    inert = MuxLinkConfig(
+        h=2,
+        seed=3,
+        train=TrainConfig(
+            epochs=5, kfac_damping=1e-2, kfac_ema_decay=0.5, kfac_inv_every=3
+        ),
+    )
+    assert config_token(inert) == config_token(base)
+
+
 def test_config_token_tracks_runtime_dtype():
     import repro.nn as nn
 
