@@ -43,6 +43,23 @@ from repro.netlist import Circuit, Gate, GateType, load_bench, parse_bench, writ
 from repro.sim import hamming_distance
 from repro.store import ArtifactStore, resolve_store
 
+# OpenBLAS splits reductions across its thread pool, so the *thread
+# count* changes floating-point summation order — the same attack on a
+# 4-core and a 24-core host (or a capped bus worker vs an uncapped
+# coordinator) would differ in the last ulp and break the bit-identity
+# contract every backend is held to.  Pin the pool to one thread at
+# import: measured zero cost on these workloads (BENCH_training.json
+# ``bench_bus``), and REPRO_BLAS_THREADS overrides for users who want
+# BLAS parallelism more than reproducibility.
+from repro.bus.protocol import BLAS_THREADS_ENV as _BLAS_THREADS_ENV
+from repro.bus.threads import limit_blas_threads as _limit_blas_threads
+
+import os as _os
+
+_raw = _os.environ.get(_BLAS_THREADS_ENV, "").strip()
+_limit_blas_threads(int(_raw) if _raw else 1)
+del _raw
+
 __version__ = "1.0.0"
 
 __all__ = [

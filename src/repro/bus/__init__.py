@@ -1,0 +1,64 @@
+"""Pluggable job bus: how pending attack jobs reach their workers.
+
+See :mod:`repro.bus.protocol` for the seam contract, and the three
+backends: :class:`~repro.bus.local.LocalBus` (in-process / pool),
+:class:`~repro.bus.spool.SpoolBus` (shared spool directory + N
+``repro worker`` processes) and :class:`~repro.bus.socketbus.SocketBus`
+(stdlib TCP queue).
+"""
+
+from repro.bus.local import LocalBus
+from repro.bus.protocol import (
+    BLAS_THREADS_ENV,
+    BUS_ADDR_ENV,
+    BUS_DIR_ENV,
+    BUS_ENV,
+    BUS_JOB_KIND,
+    BUS_MESSAGE_KIND,
+    BUS_QUARANTINE_KIND,
+    DEFAULT_MAX_ATTEMPTS,
+    DEFAULT_POLL,
+    DEFAULT_STALE_AFTER,
+    DEFAULT_WORKER_BLAS_THREADS,
+    BusError,
+    BusStats,
+    JobBus,
+    QuarantinedJob,
+    decode_job,
+    encode_job,
+    resolve_bus,
+)
+from repro.bus.socketbus import SocketBus, parse_address, serve_spool
+from repro.bus.spool import SpoolBus, SpoolDir
+from repro.bus.threads import limit_blas_threads
+from repro.bus.worker import WorkerStats, run_worker
+
+__all__ = [
+    "BLAS_THREADS_ENV",
+    "BUS_ADDR_ENV",
+    "BUS_DIR_ENV",
+    "BUS_ENV",
+    "BUS_JOB_KIND",
+    "BUS_MESSAGE_KIND",
+    "BUS_QUARANTINE_KIND",
+    "BusError",
+    "BusStats",
+    "DEFAULT_MAX_ATTEMPTS",
+    "DEFAULT_POLL",
+    "DEFAULT_STALE_AFTER",
+    "DEFAULT_WORKER_BLAS_THREADS",
+    "JobBus",
+    "LocalBus",
+    "QuarantinedJob",
+    "SocketBus",
+    "SpoolBus",
+    "SpoolDir",
+    "WorkerStats",
+    "decode_job",
+    "encode_job",
+    "limit_blas_threads",
+    "parse_address",
+    "resolve_bus",
+    "run_worker",
+    "serve_spool",
+]

@@ -1,0 +1,272 @@
+"""The pluggable job-bus seam: how pending ``AttackJob``s reach workers.
+
+The :class:`~repro.experiments.runner.ExperimentRunner` plans a grid,
+dedupes it against its caches, and hands the surviving *unique* jobs to a
+:class:`JobBus`.  The bus decides **where** they execute:
+
+* :class:`~repro.bus.local.LocalBus` — this process (serial) or a
+  ``ProcessPoolExecutor`` on this host.  The behavior-preserving default.
+* :class:`~repro.bus.spool.SpoolBus` — a filesystem spool directory
+  shared with N independent ``repro worker`` processes (any host that
+  mounts the directory and the artifact store).
+* :class:`~repro.bus.socketbus.SocketBus` — a stdlib TCP queue embedded
+  in the coordinator; workers connect with ``repro worker --bus-addr``.
+
+The exchange format is fixed by the scheduler boundary PR 5 built:
+a job travels as ``{store_key, circuit payload, config dict}`` and a
+result is exactly the encoded attack artifact the store persists — no
+backend ever ships live library objects, so every backend is
+bit-identical to serial execution by construction.
+
+A bus is a generator factory: :meth:`JobBus.run` yields
+``(job, artifact_payload, persisted)`` tuples as jobs finish, in
+completion order.  ``persisted`` tells the runner whether the artifact
+already landed in the shared store (spool workers write it there
+themselves) or still needs a write-through.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.experiments.runner import AttackJob
+    from repro.store import ArtifactStore
+
+__all__ = [
+    "BLAS_THREADS_ENV",
+    "BUS_JOB_KIND",
+    "BUS_MESSAGE_KIND",
+    "BUS_QUARANTINE_KIND",
+    "DEFAULT_WORKER_BLAS_THREADS",
+    "BusError",
+    "BusStats",
+    "JobBus",
+    "decode_job",
+    "encode_job",
+    "resolve_bus",
+]
+
+#: Codec ``kind`` tags — a spool file or wire frame of the wrong flavour
+#: raises :class:`~repro.store.codec.CodecError` instead of misdecoding.
+BUS_JOB_KIND = "bus-job"
+BUS_QUARANTINE_KIND = "bus-quarantine"
+BUS_MESSAGE_KIND = "bus-message"
+
+#: Environment knobs shared by the CLI entry points.
+BUS_ENV = "REPRO_BUS"
+BUS_DIR_ENV = "REPRO_BUS_DIR"
+BUS_ADDR_ENV = "REPRO_BUS_ADDR"
+BUS_POLL_ENV = "REPRO_BUS_POLL"
+BUS_STALE_ENV = "REPRO_BUS_STALE"
+BUS_MAX_ATTEMPTS_ENV = "REPRO_BUS_MAX_ATTEMPTS"
+BUS_TIMEOUT_ENV = "REPRO_BUS_TIMEOUT"
+BLAS_THREADS_ENV = "REPRO_BLAS_THREADS"
+
+#: A lease with no heartbeat for this many seconds is presumed dead and
+#: returns to pending (the holder was SIGKILLed / lost power / vanished).
+DEFAULT_STALE_AFTER = 30.0
+#: Requeue budget: attempt N of a job that has already failed or expired
+#: ``N >= DEFAULT_MAX_ATTEMPTS`` times is quarantined instead of retried.
+DEFAULT_MAX_ATTEMPTS = 3
+#: Coordinator / worker poll interval (seconds).
+DEFAULT_POLL = 0.25
+#: Workers cap their OpenBLAS pool at this many threads.  The attack
+#: jobs are single-core (pinning BLAS to 1 thread leaves serial runtime
+#: unchanged — measured in BENCH_training.json ``bench_bus``), while
+#: concurrent workers each waking a cores-wide spin pool double per-job
+#: wall-clock.  ``repro worker --blas-threads 0`` opts out.
+DEFAULT_WORKER_BLAS_THREADS = 1
+
+
+class BusError(ReproError):
+    """A job bus could not deliver a result (quarantine, timeout, wire)."""
+
+
+@dataclass
+class BusStats:
+    """Coordinator-side counters, mirrored into CI job summaries.
+
+    ``adopt_seconds`` / ``submit_seconds`` measure pure bus overhead —
+    encoding + enqueueing and polling + decoding — never worker compute,
+    which is what ``benchmarks/bench_bus.py`` records per job.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    adopted: int = 0
+    requeues: int = 0
+    quarantined: int = 0
+    submit_seconds: float = 0.0
+    adopt_seconds: float = 0.0
+
+    def summary(self) -> str:
+        text = (
+            f"jobs={self.submitted} completed={self.completed} "
+            f"(+{self.adopted} adopted from store) "
+            f"requeues={self.requeues} quarantined={self.quarantined}"
+        )
+        if self.completed:
+            overhead = (
+                (self.submit_seconds + self.adopt_seconds)
+                / self.completed
+                * 1000.0
+            )
+            text += f" bus-overhead={overhead:.1f}ms/job"
+        return text
+
+
+class JobBus:
+    """Abstract transport executing :class:`AttackJob`s somewhere.
+
+    Subclasses implement :meth:`run`; :meth:`close` releases whatever
+    the backend holds (worker pool, listening socket).  A bus instance
+    is reused across every ``runner.run()`` wave of a figure session.
+    """
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = BusStats()
+
+    def run(
+        self, jobs: "list[AttackJob]"
+    ) -> "Iterator[tuple[AttackJob, dict, bool]]":
+        """Execute *jobs*; yield ``(job, artifact_payload, persisted)``.
+
+        Results arrive in completion order.  A terminally failed job
+        raises :class:`BusError` (after surviving results have been
+        yielded, where the backend can manage it).
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release backend resources (idempotent)."""
+
+
+# ---------------------------------------------------------------------------
+# Job payloads — the spool-file / wire shape of an AttackJob
+# ---------------------------------------------------------------------------
+def encode_job(job: "AttackJob") -> dict:
+    """Codec-safe payload of one job (no live dataclasses cross hosts)."""
+    return {
+        "store_key": job.store_key,
+        "circuit": job.circuit,
+        "config": dataclasses.asdict(job.config),
+    }
+
+
+def decode_job(payload: dict) -> "AttackJob":
+    from repro.core import MuxLinkConfig
+    from repro.experiments.runner import AttackJob
+    from repro.linkpred import TrainConfig
+
+    config = dict(payload["config"])
+    config["train"] = TrainConfig(**config["train"])
+    return AttackJob(
+        store_key=payload["store_key"],
+        circuit=payload["circuit"],
+        config=MuxLinkConfig(**config),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Resolution — one scheme for the CLI, the runner and the benches
+# ---------------------------------------------------------------------------
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    return float(raw) if raw else default
+
+
+def _env_optional_float(name: str) -> float | None:
+    raw = os.environ.get(name, "").strip()
+    return float(raw) if raw else None
+
+
+def resolve_bus(
+    bus: "JobBus | str | None" = None,
+    *,
+    jobs: int = 0,
+    store: "ArtifactStore | None" = None,
+    bus_dir: "str | os.PathLike | None" = None,
+    bus_addr: str | None = None,
+    poll: float | None = None,
+    stale_after: float | None = None,
+    max_attempts: int | None = None,
+    timeout: float | None = None,
+) -> "JobBus":
+    """Build the configured bus backend.
+
+    *bus* is a backend name (``local`` / ``spool`` / ``socket``), an
+    existing :class:`JobBus` (passed through), or ``None`` — which
+    consults ``REPRO_BUS`` and falls back to ``local``.  ``spool`` needs
+    a directory (*bus_dir* / ``REPRO_BUS_DIR``) **and** a shared
+    artifact store (results travel through it); ``socket`` needs a bind
+    address (*bus_addr* / ``REPRO_BUS_ADDR``, default an ephemeral
+    localhost port).
+    """
+    if isinstance(bus, JobBus):
+        return bus
+    name = (bus or os.environ.get(BUS_ENV, "") or "local").strip().lower()
+    poll = _env_float(BUS_POLL_ENV, DEFAULT_POLL) if poll is None else poll
+    stale_after = (
+        _env_float(BUS_STALE_ENV, DEFAULT_STALE_AFTER)
+        if stale_after is None
+        else stale_after
+    )
+    max_attempts = (
+        int(_env_float(BUS_MAX_ATTEMPTS_ENV, DEFAULT_MAX_ATTEMPTS))
+        if max_attempts is None
+        else max_attempts
+    )
+    timeout = _env_optional_float(BUS_TIMEOUT_ENV) if timeout is None else timeout
+    if name == "local":
+        from repro.bus.local import LocalBus
+
+        return LocalBus(jobs=jobs)
+    if name == "spool":
+        from repro.bus.spool import SpoolBus, SpoolDir
+
+        bus_dir = bus_dir or os.environ.get(BUS_DIR_ENV, "").strip()
+        if not bus_dir:
+            raise BusError(
+                "spool bus needs a directory: pass --bus-dir or set "
+                f"{BUS_DIR_ENV}"
+            )
+        if store is None:
+            raise BusError(
+                "spool bus needs a shared artifact store (results travel "
+                "through it): pass --store or set REPRO_STORE"
+            )
+        spool = SpoolDir(
+            bus_dir, stale_after=stale_after, max_attempts=max_attempts
+        )
+        return SpoolBus(spool, store, poll=poll, timeout=timeout)
+    if name == "socket":
+        from repro.bus.socketbus import SocketBus
+
+        bus_addr = bus_addr or os.environ.get(BUS_ADDR_ENV, "").strip()
+        return SocketBus(
+            bus_addr or "127.0.0.1:0",
+            poll=poll,
+            max_attempts=max_attempts,
+            timeout=timeout,
+        )
+    raise BusError(
+        f"unknown job bus {name!r}; choose from local, spool, socket"
+    )
+
+
+@dataclass
+class QuarantinedJob:
+    """One poisoned job, as surfaced by ``SpoolDir.quarantined()``."""
+
+    key: str
+    attempts: int
+    traceback: str
+    payload: dict = field(repr=False, default_factory=dict)

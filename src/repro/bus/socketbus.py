@@ -1,0 +1,438 @@
+"""Stdlib TCP job bus: a length-prefixed codec-frame queue.
+
+Wire protocol (every frame is a 4-byte big-endian length followed by a
+:func:`repro.store.codec.dumps` blob of kind ``bus-message``):
+
+========  =========================  =========================================
+sender    message                    meaning
+========  =========================  =========================================
+worker    ``{op: lease}``            request one job
+server    ``{op: job, key, attempt,  here is one (the *same* payload shape a
+          job}``                     spool file carries)
+server    ``{op: empty}``            nothing queued; poll again in a moment
+worker    ``{op: done, key,          job finished; ``result`` is the encoded
+          result}``                  attack artifact
+worker    ``{op: failed, key,        job raised; traceback attached
+          traceback}``
+========  =========================  =========================================
+
+Two servers speak it:
+
+* :class:`SocketBus` — embedded in the coordinator (``repro figures
+  --bus socket``): the listening socket lives on the bus object, and the
+  selector loop runs *inside* :meth:`SocketBus.run` while a grid is in
+  flight.  Results come back over the wire, so socket workers need no
+  shared filesystem at all.
+* :func:`serve_spool` — the standalone ``repro serve-bus`` broker: it
+  leases jobs from a :class:`~repro.bus.spool.SpoolDir` on behalf of
+  TCP-connected workers (heartbeating the leases while the connection
+  lives), writes returned artifacts into the store, and requeues the
+  job when a connection dies mid-execution.  It bridges a spool to
+  workers that cannot mount the directory.
+
+A worker death is detected as a connection EOF/reset: the in-flight job
+returns to the queue with its attempt count bumped, and a job that burns
+``max_attempts`` attempts raises :class:`~repro.bus.protocol.BusError`
+carrying the last traceback (the socket-mode quarantine).
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Iterator
+
+from repro.bus.protocol import (
+    BUS_MESSAGE_KIND,
+    DEFAULT_MAX_ATTEMPTS,
+    DEFAULT_POLL,
+    BusError,
+    JobBus,
+    encode_job,
+)
+from repro.store import codec
+from repro.store.codec import CodecError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.bus.spool import SpoolDir
+    from repro.experiments.runner import AttackJob
+    from repro.store import ArtifactStore
+
+__all__ = ["SocketBus", "parse_address", "recv_message", "send_message", "serve_spool"]
+
+_LEN_BYTES = 4
+#: Frames above this are refused outright — a desynced or hostile peer
+#: must not make the server allocate gigabytes.
+MAX_FRAME = 512 * 1024 * 1024
+
+
+def parse_address(text: str) -> tuple[str, int]:
+    """``"host:port"`` → ``(host, port)`` (bare ``":port"`` = localhost)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit() and text != "":
+        if text.isdigit():  # bare port
+            return "127.0.0.1", int(text)
+        raise BusError(f"malformed bus address {text!r}; expected host:port")
+    return host or "127.0.0.1", int(port)
+
+
+def send_message(sock: socket.socket, payload: dict) -> None:
+    """Write one framed codec message (blocking until fully sent)."""
+    blob = codec.dumps(payload, kind=BUS_MESSAGE_KIND)
+    sock.sendall(len(blob).to_bytes(_LEN_BYTES, "big") + blob)
+
+
+def recv_message(sock: socket.socket) -> dict | None:
+    """Read one framed message from a blocking socket; ``None`` on EOF."""
+    header = _recv_exact(sock, _LEN_BYTES)
+    if header is None:
+        return None
+    length = int.from_bytes(header, "big")
+    if length > MAX_FRAME:
+        raise BusError(f"oversized bus frame ({length} bytes)")
+    blob = _recv_exact(sock, length)
+    if blob is None:
+        return None
+    return codec.loads(blob, kind=BUS_MESSAGE_KIND)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class _Connection:
+    """One worker link on the server side: recv buffer + execution state."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.buffer = b""
+        self.executing: tuple[str, int] | None = None  # (key, attempt)
+
+    def feed(self) -> list[dict] | None:
+        """Drain readable bytes into complete frames; ``None`` = gone."""
+        try:
+            data = self.sock.recv(1 << 20)
+        except BlockingIOError:  # pragma: no cover - spurious readiness
+            return []
+        except OSError:
+            return None
+        if not data:
+            return None
+        self.buffer += data
+        messages = []
+        while len(self.buffer) >= _LEN_BYTES:
+            length = int.from_bytes(self.buffer[:_LEN_BYTES], "big")
+            if length > MAX_FRAME:
+                return None  # desynced peer; drop the connection
+            if len(self.buffer) < _LEN_BYTES + length:
+                break
+            blob = self.buffer[_LEN_BYTES : _LEN_BYTES + length]
+            self.buffer = self.buffer[_LEN_BYTES + length :]
+            try:
+                messages.append(codec.loads(blob, kind=BUS_MESSAGE_KIND))
+            except CodecError:
+                return None
+        return messages
+
+    def send(self, payload: dict) -> bool:
+        try:
+            send_message(self.sock, payload)
+            return True
+        except OSError:
+            return False
+
+
+class _Server:
+    """Selector plumbing shared by :class:`SocketBus` and the spool broker."""
+
+    def __init__(self, address: str) -> None:
+        host, port = parse_address(address)
+        self._listener = socket.create_server((host, port), backlog=128)
+        self._listener.setblocking(False)
+        self.selector = selectors.DefaultSelector()
+        self.selector.register(self._listener, selectors.EVENT_READ)
+        self.connections: dict[socket.socket, _Connection] = {}
+        bound = self._listener.getsockname()
+        self.address = f"{bound[0]}:{bound[1]}"
+
+    def poll(self, timeout: float) -> list[tuple[_Connection, list[dict] | None]]:
+        """One select cycle → ``(connection, messages-or-EOF)`` events."""
+        events = []
+        for key, _ in self.selector.select(timeout=timeout):
+            sock = key.fileobj
+            if sock is self._listener:
+                try:
+                    conn_sock, _ = self._listener.accept()
+                except OSError:  # pragma: no cover - racing close
+                    continue
+                conn_sock.setblocking(True)
+                connection = _Connection(conn_sock)
+                self.connections[conn_sock] = connection
+                self.selector.register(conn_sock, selectors.EVENT_READ)
+            else:
+                connection = self.connections[sock]
+                events.append((connection, connection.feed()))
+        return events
+
+    def drop(self, connection: _Connection) -> None:
+        try:
+            self.selector.unregister(connection.sock)
+        except (KeyError, ValueError):  # pragma: no cover - already gone
+            pass
+        self.connections.pop(connection.sock, None)
+        try:
+            connection.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def close(self) -> None:
+        for connection in list(self.connections.values()):
+            self.drop(connection)
+        try:
+            self.selector.unregister(self._listener)
+        except (KeyError, ValueError):  # pragma: no cover
+            pass
+        self._listener.close()
+        self.selector.close()
+
+
+class SocketBus(JobBus):
+    """Coordinator-embedded TCP queue (``repro figures --bus socket``)."""
+
+    name = "socket"
+
+    def __init__(
+        self,
+        address: str = "127.0.0.1:0",
+        poll: float = DEFAULT_POLL,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        timeout: float | None = None,
+    ) -> None:
+        super().__init__()
+        self._server = _Server(address)
+        self.address = self._server.address
+        self.poll = float(poll)
+        self.max_attempts = int(max_attempts)
+        self.timeout = timeout
+
+    def run(
+        self, jobs: "list[AttackJob]"
+    ) -> "Iterator[tuple[AttackJob, dict, bool]]":
+        t0 = time.perf_counter()
+        waiting = {job.store_key: job for job in jobs}
+        queue: deque[tuple[str, int]] = deque((key, 0) for key in waiting)
+        encoded = {job.store_key: encode_job(job) for job in jobs}
+        self.stats.submitted += len(jobs)
+        self.stats.submit_seconds += time.perf_counter() - t0
+
+        last_progress = time.monotonic()
+        while waiting:
+            events = self._server.poll(self.poll)
+            t0 = time.perf_counter()
+            for connection, messages in events:
+                if messages is None:  # worker vanished (EOF / reset)
+                    self._requeue(connection, queue, waiting)
+                    self._server.drop(connection)
+                    continue
+                last_progress = time.monotonic()
+                for message in messages:
+                    op = message.get("op")
+                    if op == "lease":
+                        self._dispatch(connection, queue, encoded)
+                    elif op == "done":
+                        key = str(message["key"])
+                        connection.executing = None
+                        if key in waiting:
+                            job = waiting.pop(key)
+                            self.stats.completed += 1
+                            self.stats.adopt_seconds += (
+                                time.perf_counter() - t0
+                            )
+                            yield job, message["result"], False
+                            t0 = time.perf_counter()
+                    elif op == "failed":
+                        connection.executing = None
+                        self._record_failure(
+                            str(message["key"]),
+                            str(message.get("traceback", "")),
+                            queue,
+                            waiting,
+                        )
+            self.stats.adopt_seconds += time.perf_counter() - t0
+            if (
+                waiting
+                and self.timeout is not None
+                and time.monotonic() - last_progress > self.timeout
+            ):
+                raise BusError(
+                    f"socket bus made no progress for {self.timeout:.0f}s — "
+                    f"{len(waiting)} job(s) outstanding, "
+                    f"{len(self._server.connections)} worker connection(s); "
+                    f"point workers at `repro worker --bus-addr "
+                    f"{self.address}`"
+                )
+
+    def _dispatch(
+        self,
+        connection: _Connection,
+        queue: deque[tuple[str, int]],
+        encoded: dict[str, dict],
+    ) -> None:
+        if connection.executing is not None:
+            return  # protocol misuse: one job per connection at a time
+        if not queue:
+            connection.send({"op": "empty"})
+            return
+        key, attempt = queue.popleft()
+        connection.executing = (key, attempt)
+        if not connection.send(
+            {"op": "job", "key": key, "attempt": attempt, "job": encoded[key]}
+        ):
+            connection.executing = None
+            queue.appendleft((key, attempt))
+
+    def _requeue(
+        self,
+        connection: _Connection,
+        queue: deque[tuple[str, int]],
+        waiting: dict,
+    ) -> None:
+        if connection.executing is None:
+            return
+        key, attempt = connection.executing
+        connection.executing = None
+        if key not in waiting:
+            return
+        self._record_failure(
+            key, "worker connection lost mid-job", queue, waiting, attempt
+        )
+
+    def _record_failure(
+        self,
+        key: str,
+        error: str,
+        queue: deque[tuple[str, int]],
+        waiting: dict,
+        attempt: int | None = None,
+    ) -> None:
+        if key not in waiting:
+            return
+        if attempt is None:
+            attempt = 0
+            for queued_key, queued_attempt in queue:  # pragma: no cover
+                if queued_key == key:
+                    attempt = queued_attempt
+        next_attempt = attempt + 1
+        if next_attempt >= self.max_attempts:
+            self.stats.quarantined += 1
+            raise BusError(
+                f"job {key[:12]}… failed {next_attempt} time(s) over the "
+                f"socket bus; last worker traceback:\n{error}"
+            )
+        self.stats.requeues += 1
+        queue.append((key, next_attempt))
+
+    def close(self) -> None:
+        self._server.close()
+
+
+def serve_spool(
+    spool: "SpoolDir",
+    address: str,
+    store: "ArtifactStore",
+    poll: float = DEFAULT_POLL,
+    idle_timeout: float | None = None,
+    max_jobs: int | None = None,
+    log=print,
+) -> dict:
+    """``repro serve-bus``: bridge a spool directory to TCP workers.
+
+    Leases are taken from the spool on behalf of each connected worker
+    and heartbeaten while the connection lives, so spool-side reapers
+    see a socket-proxied job as alive exactly as long as its worker is.
+    Returned artifacts land in *store*; a dropped connection releases
+    the lease back to pending (bounded by the spool's attempt budget).
+    Runs until *idle_timeout* seconds pass with nothing queued, nothing
+    executing and no connections (``None`` = forever), or *max_jobs*
+    results have been written.
+    """
+    server = _Server(address)
+    log(f"serve-bus: {server.address} over spool {spool.root}")
+    stats = {"served": 0, "completed": 0, "failed": 0, "requeued": 0}
+    last_activity = time.monotonic()
+    try:
+        while True:
+            spool.reap_stale()
+            events = server.poll(poll)
+            executing = [
+                c for c in server.connections.values() if c.executing
+            ]
+            for connection in executing:
+                spool.heartbeat(connection.executing[0])
+            if events:
+                last_activity = time.monotonic()
+            for connection, messages in events:
+                if messages is None:
+                    if connection.executing is not None:
+                        key, _ = connection.executing
+                        spool.release(key, "worker connection lost mid-job")
+                        stats["requeued"] += 1
+                    server.drop(connection)
+                    continue
+                for message in messages:
+                    op = message.get("op")
+                    if op == "lease":
+                        leased = spool.lease()
+                        if leased is None:
+                            connection.send({"op": "empty"})
+                            continue
+                        key, payload = leased
+                        connection.executing = (key, int(payload["attempt"]))
+                        stats["served"] += 1
+                        if not connection.send(
+                            {
+                                "op": "job",
+                                "key": key,
+                                "attempt": int(payload["attempt"]),
+                                "job": payload["job"],
+                            }
+                        ):
+                            connection.executing = None
+                            spool.release(key, "worker connection lost")
+                    elif op == "done":
+                        key = str(message["key"])
+                        store.put("attacks", key, message["result"])
+                        spool.complete(key)
+                        connection.executing = None
+                        stats["completed"] += 1
+                        log(f"serve-bus: completed {key[:12]}…")
+                    elif op == "failed":
+                        key = str(message["key"])
+                        connection.executing = None
+                        stats["failed"] += 1
+                        if spool.fail(key, str(message.get("traceback", ""))):
+                            log(f"serve-bus: quarantined {key[:12]}…")
+            if max_jobs is not None and stats["completed"] >= max_jobs:
+                break
+            if (
+                idle_timeout is not None
+                and not server.connections
+                and not spool.pending_keys()
+                and time.monotonic() - last_activity > idle_timeout
+            ):
+                break
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        server.close()
+    return stats

@@ -1,0 +1,340 @@
+"""The ``repro worker`` loop: lease, execute, publish, repeat.
+
+A worker is a plain process started with either a spool directory
+(``repro worker --bus-dir SPOOL --store STORE``) or a coordinator
+address (``repro worker --bus-addr HOST:PORT``).  It knows nothing
+about figures or grids — it executes
+:func:`~repro.experiments.runner.execute_attack_job` on whatever the bus
+hands it, one job at a time:
+
+* **spool mode** — lease via atomic rename, heartbeat the lease file
+  from a daemon thread while training runs, write the artifact to the
+  shared store, drop the lease.  A job whose artifact *already* sits in
+  the store is completed without recomputation (the warm-store path),
+  and crash recovery is entirely passive: if this process is SIGKILLed
+  mid-job the heartbeat stops and any peer reaps the lease.
+* **socket mode** — hold one connection to the coordinator (or
+  ``repro serve-bus`` broker), request jobs, ship results back over the
+  wire.  The server treats a dropped connection as this worker's death.
+
+Workers may start before or after the coordinator, and several may race
+over one spool — the lease protocol makes the outcome identical either
+way.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.bus.protocol import (
+    BLAS_THREADS_ENV,
+    DEFAULT_POLL,
+    DEFAULT_STALE_AFTER,
+    DEFAULT_WORKER_BLAS_THREADS,
+    BusError,
+    decode_job,
+)
+from repro.bus.spool import SpoolDir
+from repro.bus.threads import limit_blas_threads
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store import ArtifactStore
+
+__all__ = ["WorkerStats", "run_worker"]
+
+#: Test hook: seconds to sleep between taking a lease and executing it.
+#: Lets the worker-death tests SIGKILL a worker that *definitely* holds a
+#: lease without racing a fast smoke-scale attack.  Unset in real use.
+TEST_DELAY_ENV = "REPRO_BUS_TEST_DELAY"
+
+
+@dataclass
+class WorkerStats:
+    """What one worker process did before exiting."""
+
+    executed: int = 0
+    skipped: int = 0  # artifact already in the store; no recompute
+    failed: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"executed={self.executed} skipped={self.skipped} "
+            f"failed={self.failed}"
+        )
+
+
+def _test_delay() -> None:
+    raw = os.environ.get(TEST_DELAY_ENV, "").strip()
+    if raw:
+        time.sleep(float(raw))
+
+
+class _Heartbeat:
+    """Daemon thread refreshing one spool lease while a job executes."""
+
+    def __init__(self, spool: SpoolDir, key: str, interval: float) -> None:
+        self._spool = spool
+        self._key = key
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._beat, daemon=True)
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join()
+
+    def _beat(self) -> None:
+        while not self._stop.wait(self._interval):
+            if not self._spool.heartbeat(self._key):
+                return  # reaped out from under us; stop touching it
+
+
+def run_worker(
+    bus_dir: "str | os.PathLike | None" = None,
+    bus_addr: str | None = None,
+    store: "ArtifactStore | str | os.PathLike | None" = None,
+    poll: float = DEFAULT_POLL,
+    stale_after: float = DEFAULT_STALE_AFTER,
+    max_attempts: int | None = None,
+    idle_timeout: float | None = None,
+    max_jobs: int | None = None,
+    blas_threads: int | None = None,
+    log=print,
+) -> WorkerStats:
+    """Run the worker loop until idle for *idle_timeout* seconds.
+
+    Exactly one of *bus_dir* (spool mode, requires *store*) or
+    *bus_addr* (socket mode) must be given.  ``idle_timeout=None`` runs
+    forever (the daemon deployment); *max_jobs* bounds how many jobs
+    this process executes (useful in tests and crash drills).
+
+    *blas_threads* caps the OpenBLAS pool for this process (default 1,
+    ``REPRO_BLAS_THREADS`` to override, 0 to leave BLAS alone): the
+    jobs are single-core, and a fleet of workers each waking a
+    cores-wide BLAS spin pool oversubscribes the host and doubles
+    per-job wall-clock.
+    """
+    if (bus_dir is None) == (bus_addr is None):
+        raise BusError("worker needs exactly one of bus_dir or bus_addr")
+    if blas_threads is None:
+        raw = os.environ.get(BLAS_THREADS_ENV, "").strip()
+        blas_threads = int(raw) if raw else DEFAULT_WORKER_BLAS_THREADS
+    limit_blas_threads(blas_threads)
+    if bus_dir is not None:
+        return _run_spool_worker(
+            bus_dir,
+            store,
+            poll=poll,
+            stale_after=stale_after,
+            max_attempts=max_attempts,
+            idle_timeout=idle_timeout,
+            max_jobs=max_jobs,
+            log=log,
+        )
+    return _run_socket_worker(
+        bus_addr,
+        poll=poll,
+        idle_timeout=idle_timeout,
+        max_jobs=max_jobs,
+        log=log,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Spool mode
+# ---------------------------------------------------------------------------
+def _run_spool_worker(
+    bus_dir,
+    store,
+    *,
+    poll: float,
+    stale_after: float,
+    max_attempts: int | None,
+    idle_timeout: float | None,
+    max_jobs: int | None,
+    log,
+) -> WorkerStats:
+    from repro.bus.protocol import DEFAULT_MAX_ATTEMPTS
+    from repro.experiments.runner import execute_attack_job
+    from repro.store import resolve_store
+
+    resolved = resolve_store(store)
+    if resolved is None:
+        raise BusError(
+            "spool worker needs the shared artifact store: pass --store "
+            "or set REPRO_STORE"
+        )
+    spool = SpoolDir(
+        bus_dir,
+        stale_after=stale_after,
+        max_attempts=(
+            DEFAULT_MAX_ATTEMPTS if max_attempts is None else max_attempts
+        ),
+    )
+    log(f"worker[{os.getpid()}]: spool {spool.root} store {resolved.root}")
+    stats = WorkerStats()
+    heartbeat_every = max(stale_after / 4.0, 0.05)
+    idle_since = time.monotonic()
+    while True:
+        spool.reap_stale()
+        leased = spool.lease()
+        if leased is None:
+            if (
+                idle_timeout is not None
+                and time.monotonic() - idle_since > idle_timeout
+            ):
+                break
+            time.sleep(poll)
+            continue
+        idle_since = time.monotonic()
+        key, payload = leased
+        if resolved.has("attacks", key):
+            # Warm store: a peer (or a previous run) already produced
+            # this artifact — adopt it instead of retraining.
+            spool.complete(key)
+            stats.skipped += 1
+            log(f"worker[{os.getpid()}]: {key[:12]}… already in store")
+        else:
+            _execute_leased(
+                spool, resolved, key, payload, heartbeat_every, stats, log,
+                execute_attack_job,
+            )
+        if max_jobs is not None and stats.executed + stats.skipped >= max_jobs:
+            break
+    log(f"worker[{os.getpid()}]: done ({stats.summary()})")
+    return stats
+
+
+def _execute_leased(
+    spool: SpoolDir,
+    store: "ArtifactStore",
+    key: str,
+    payload: dict,
+    heartbeat_every: float,
+    stats: WorkerStats,
+    log,
+    execute_attack_job,
+) -> None:
+    try:
+        job = decode_job(payload["job"])
+        with _Heartbeat(spool, key, heartbeat_every):
+            _test_delay()
+            artifact = execute_attack_job(job)
+        store.put("attacks", key, artifact)
+        spool.complete(key)
+        stats.executed += 1
+        log(f"worker[{os.getpid()}]: completed {key[:12]}…")
+    except KeyboardInterrupt:
+        spool.release(key, "worker interrupted")
+        raise
+    except Exception:
+        stats.failed += 1
+        quarantined = spool.fail(key, traceback.format_exc())
+        verb = "quarantined" if quarantined else "requeued"
+        log(f"worker[{os.getpid()}]: {verb} {key[:12]}… after failure")
+
+
+# ---------------------------------------------------------------------------
+# Socket mode
+# ---------------------------------------------------------------------------
+def _run_socket_worker(
+    bus_addr: str,
+    *,
+    poll: float,
+    idle_timeout: float | None,
+    max_jobs: int | None,
+    log,
+) -> WorkerStats:
+    from repro.bus.socketbus import parse_address, recv_message, send_message
+    from repro.experiments.runner import execute_attack_job
+
+    host, port = parse_address(bus_addr)
+    stats = WorkerStats()
+    idle_since = time.monotonic()
+    conn: socket.socket | None = None
+    backoff = poll
+    log(f"worker[{os.getpid()}]: socket bus {host}:{port}")
+    try:
+        while True:
+            if (
+                idle_timeout is not None
+                and time.monotonic() - idle_since > idle_timeout
+            ):
+                break
+            if conn is None:
+                try:
+                    conn = socket.create_connection((host, port), timeout=30.0)
+                    conn.settimeout(None)
+                    backoff = poll
+                except OSError:
+                    # Coordinator not up yet (workers may legally start
+                    # first) — retry with a gentle backoff.
+                    time.sleep(backoff)
+                    backoff = min(backoff * 2.0, 2.0)
+                    continue
+            try:
+                send_message(conn, {"op": "lease"})
+                message = recv_message(conn)
+            except OSError:
+                message = None
+            if message is None:  # server went away; reconnect
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+                conn = None
+                time.sleep(poll)
+                continue
+            if message.get("op") == "empty":
+                time.sleep(poll)
+                continue
+            if message.get("op") != "job":  # pragma: no cover - bad server
+                continue
+            idle_since = time.monotonic()
+            key = str(message["key"])
+            try:
+                job = decode_job(message["job"])
+                _test_delay()
+                artifact = execute_attack_job(job)
+            except Exception:
+                stats.failed += 1
+                reply = {
+                    "op": "failed",
+                    "key": key,
+                    "traceback": traceback.format_exc(),
+                }
+            else:
+                stats.executed += 1
+                reply = {"op": "done", "key": key, "result": artifact}
+                log(f"worker[{os.getpid()}]: completed {key[:12]}…")
+            try:
+                send_message(conn, reply)
+            except OSError:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+                conn = None  # server will requeue; nothing else to do
+            if (
+                max_jobs is not None
+                and stats.executed + stats.skipped >= max_jobs
+            ):
+                break
+    finally:
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+    log(f"worker[{os.getpid()}]: done ({stats.summary()})")
+    return stats

@@ -29,6 +29,18 @@ persistent content-addressed artifact store, so a rerun in a fresh
 process performs zero lock and zero train jobs; ``attack --store``
 keys single attacks into the same pool, and ``cache ls / stats / gc /
 verify`` administers it.
+
+``--bus`` swaps the execution backend under ``figures``: ``local``
+(default, this host), ``spool`` (a shared spool directory drained by N
+``repro worker --bus-dir`` processes) or ``socket`` (a TCP queue served
+from the coordinator; workers connect with ``repro worker --bus-addr``).
+``repro serve-bus`` bridges a spool directory to socket workers that
+cannot mount it.  Results are bit-identical across all backends::
+
+    python -m repro.cli worker --bus-dir /tmp/spool --store /tmp/store &
+    python -m repro.cli worker --bus-dir /tmp/spool --store /tmp/store &
+    python -m repro.cli figures --scale smoke --bus spool \
+        --bus-dir /tmp/spool --store /tmp/store
 """
 
 from __future__ import annotations
@@ -87,6 +99,8 @@ def _cmd_attack(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    from repro.experiments.common import resolve_worker_count
+
     if args.dtype:
         import repro.nn as nn
 
@@ -117,10 +131,12 @@ def _cmd_attack(args: argparse.Namespace) -> int:
             kfac_cov_every=args.kfac_cov_every,
             kfac_max_dim=args.kfac_max_dim,
             grad_shards=args.grad_shards,
-            n_train_workers=args.train_workers,
+            n_train_workers=resolve_worker_count(
+                args.train_workers, "train_workers"
+            ),
         ),
         seed=args.seed,
-        n_workers=args.workers,
+        n_workers=resolve_worker_count(args.workers, "workers"),
         score_prefetch=args.score_prefetch,
     )
     from repro.store import resolve_store
@@ -168,17 +184,93 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         10: (run_fig10, format_fig10),
     }
     print(f"scale={scale.name} jobs={args.jobs if args.jobs is not None else 'env'}")
-    with ExperimentRunner(jobs=args.jobs, store=args.store) as runner:
+    with ExperimentRunner(
+        jobs=args.jobs,
+        store=args.store,
+        bus=args.bus,
+        bus_dir=args.bus_dir,
+        bus_addr=args.bus_addr,
+    ) as runner:
         if runner.store is not None:
             print(f"store={runner.store.root}")
+        if runner.bus.name != "local":
+            print(f"bus={runner.bus.name}", end="")
+            address = getattr(runner.bus, "address", None)
+            if address is not None:
+                print(f" addr={address}", end="")
+            print()
         for figure in args.figures:
             run, fmt = drivers[figure]
             print()
             print(fmt(run(scale=scale, seed=args.seed, runner=runner)))
         print()
         print(f"runner: {runner.stats.summary()}")
+        if runner.bus.name != "local":
+            print(f"bus[{runner.bus.name}]: {runner.bus.stats.summary()}")
         if runner.store is not None:
             print(f"store: {runner.store.stats.summary()}")
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.bus import BUS_ADDR_ENV, BUS_DIR_ENV, BusError, run_worker
+
+    bus_dir = args.bus_dir or os.environ.get(BUS_DIR_ENV, "").strip() or None
+    bus_addr = args.bus_addr or os.environ.get(BUS_ADDR_ENV, "").strip() or None
+    try:
+        stats = run_worker(
+            bus_dir=bus_dir,
+            bus_addr=bus_addr,
+            store=args.store,
+            poll=args.poll,
+            stale_after=args.stale_after,
+            max_attempts=args.max_attempts,
+            idle_timeout=args.idle_timeout,
+            max_jobs=args.max_jobs,
+            blas_threads=args.blas_threads,
+        )
+    except BusError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"worker: {stats.summary()}")
+    return 0
+
+
+def _cmd_serve_bus(args: argparse.Namespace) -> int:
+    from repro.bus import BusError, SpoolDir, serve_spool
+    from repro.store import resolve_store
+
+    store = resolve_store(args.store)
+    if store is None:
+        print(
+            "error: serve-bus needs the shared artifact store — pass "
+            "--store DIR or set REPRO_STORE",
+            file=sys.stderr,
+        )
+        return 2
+    spool = SpoolDir(
+        args.bus_dir,
+        stale_after=args.stale_after,
+        max_attempts=args.max_attempts,
+    )
+    try:
+        stats = serve_spool(
+            spool,
+            args.bus_addr,
+            store,
+            poll=args.poll,
+            idle_timeout=args.idle_timeout,
+            max_jobs=args.max_jobs,
+        )
+    except BusError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"serve-bus: served={stats['served']} completed={stats['completed']} "
+        f"failed={stats['failed']} requeued={stats['requeued']}"
+    )
     return 0
 
 
@@ -212,6 +304,24 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             by_kind[entry.kind] = (count + 1, size + entry.size)
         total_count = sum(c for c, _ in by_kind.values())
         total_size = sum(s for _, s in by_kind.values())
+        if args.json:
+            import json
+
+            print(
+                json.dumps(
+                    {
+                        "root": str(store.root),
+                        "schema": store.schema,
+                        "kinds": {
+                            kind: {"count": count, "bytes": size}
+                            for kind, (count, size) in sorted(by_kind.items())
+                        },
+                        "total": {"count": total_count, "bytes": total_size},
+                    },
+                    indent=2,
+                )
+            )
+            return 0
         print(f"store {store.root} (schema v{store.schema})")
         for kind in sorted(by_kind):
             count, size = by_kind[kind]
@@ -219,10 +329,23 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"  {'total':<12}{total_count:>8} artifact(s) {total_size:>14} bytes")
         return 0
     if args.cache_command == "gc":
-        removed, freed = store.gc(keep_days=args.keep_days)
+        import os
+
+        from repro.bus import BUS_DIR_ENV, SpoolDir
+
+        protect: set[str] = set()
+        bus_dir = (
+            args.bus_dir or os.environ.get(BUS_DIR_ENV, "").strip() or None
+        )
+        if bus_dir is not None:
+            # Never collect an artifact a spool job is about to produce
+            # or a coordinator is about to adopt.
+            protect = SpoolDir(bus_dir).referenced_keys()
+        removed, freed = store.gc(keep_days=args.keep_days, protect=protect)
+        suffix = f", protected {len(protect)} in-flight key(s)" if protect else ""
         print(
             f"removed {removed} file(s), freed {freed} bytes "
-            f"(kept entries touched within {args.keep_days} day(s))"
+            f"(kept entries touched within {args.keep_days} day(s){suffix})"
         )
         return 0
     if args.cache_command == "verify":
@@ -306,9 +429,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--workers",
-        type=int,
         default=0,
-        help="subgraph-extraction worker processes (0 = in-process)",
+        help="subgraph-extraction worker processes (0 = in-process; "
+        "'auto' = the measured policy, currently in-process)",
     )
     p.add_argument(
         "--patience",
@@ -397,10 +520,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--train-workers",
-        type=int,
         default=1,
         help="processes executing the gradient shards (pure execution "
-        "knob; results identical for any worker count)",
+        "knob; results identical for any worker count; 'auto' = the "
+        "measured policy, currently serial)",
     )
     p.add_argument(
         "--dtype",
@@ -456,11 +579,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--train-workers",
-        type=int,
         default=None,
         help="processes executing gradient shards during training "
-        "(default: REPRO_TRAIN_WORKERS or the preset; results identical "
-        "for any worker count)",
+        "(default: REPRO_TRAIN_WORKERS or the preset; 'auto' = the "
+        "measured policy; results identical for any worker count)",
     )
     p.add_argument(
         "--store",
@@ -468,7 +590,127 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent artifact store directory; reruns resume with "
         "zero lock/train jobs (default: REPRO_STORE, no store when unset)",
     )
+    p.add_argument(
+        "--bus",
+        choices=("local", "spool", "socket"),
+        default=None,
+        help="job execution backend (default: REPRO_BUS or local); "
+        "results are bit-identical across backends",
+    )
+    p.add_argument(
+        "--bus-dir",
+        default=None,
+        help="spool directory for --bus spool (default: REPRO_BUS_DIR)",
+    )
+    p.add_argument(
+        "--bus-addr",
+        default=None,
+        help="bind address for --bus socket, host:port (default: "
+        "REPRO_BUS_ADDR or an ephemeral localhost port)",
+    )
     p.set_defaults(func=_cmd_figures)
+
+    p = sub.add_parser(
+        "worker",
+        help="execute attack jobs from a spool directory or socket bus",
+    )
+    p.add_argument(
+        "--bus-dir",
+        default=None,
+        help="spool directory to lease jobs from (default: REPRO_BUS_DIR); "
+        "requires --store",
+    )
+    p.add_argument(
+        "--bus-addr",
+        default=None,
+        help="coordinator/broker address host:port (default: REPRO_BUS_ADDR)",
+    )
+    p.add_argument(
+        "--store",
+        default=None,
+        help="shared artifact store for spool mode (default: REPRO_STORE)",
+    )
+    p.add_argument(
+        "--poll",
+        type=float,
+        default=0.25,
+        help="idle poll interval in seconds",
+    )
+    p.add_argument(
+        "--stale-after",
+        type=float,
+        default=30.0,
+        help="spool leases with no heartbeat for this long are reaped",
+    )
+    p.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        help="requeue budget before a failing job is quarantined",
+    )
+    p.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        help="exit after this many idle seconds (default: run forever)",
+    )
+    p.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="exit after handling this many jobs",
+    )
+    p.add_argument(
+        "--blas-threads",
+        type=int,
+        default=None,
+        help="cap this worker's OpenBLAS pool (default: 1 — jobs are "
+        "single-core and concurrent workers oversubscribe otherwise; "
+        "REPRO_BLAS_THREADS overrides; 0 leaves BLAS alone)",
+    )
+    p.set_defaults(func=_cmd_worker)
+
+    p = sub.add_parser(
+        "serve-bus",
+        help="serve a spool directory to socket workers over TCP",
+    )
+    p.add_argument(
+        "--bus-dir",
+        required=True,
+        help="spool directory to serve jobs from",
+    )
+    p.add_argument(
+        "--bus-addr",
+        default="127.0.0.1:0",
+        help="bind address host:port (default: ephemeral localhost port)",
+    )
+    p.add_argument(
+        "--store",
+        default=None,
+        help="shared artifact store results are written to "
+        "(default: REPRO_STORE)",
+    )
+    p.add_argument("--poll", type=float, default=0.25)
+    p.add_argument(
+        "--stale-after",
+        type=float,
+        default=30.0,
+        help="spool leases with no heartbeat for this long are reaped",
+    )
+    p.add_argument("--max-attempts", type=int, default=3)
+    p.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        help="exit after this many fully idle seconds (default: run forever)",
+    )
+    p.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="exit after this many completed jobs",
+    )
+    p.set_defaults(func=_cmd_serve_bus)
 
     p = sub.add_parser(
         "cache", help="administer a persistent artifact store"
@@ -480,7 +722,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_sub = p.add_subparsers(dest="cache_command", required=True)
     cache_sub.add_parser("ls", help="list artifacts (kind, bytes, key)")
-    cache_sub.add_parser("stats", help="per-kind artifact counts and bytes")
+    stats_p = cache_sub.add_parser(
+        "stats", help="per-kind artifact counts and bytes"
+    )
+    stats_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the stats as machine-readable JSON",
+    )
     gc_p = cache_sub.add_parser(
         "gc", help="drop artifacts not touched recently (plus stray tmp files)"
     )
@@ -489,6 +738,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         required=True,
         help="keep artifacts read or written within this many days",
+    )
+    gc_p.add_argument(
+        "--bus-dir",
+        default=None,
+        help="spool directory whose pending/leased jobs' artifacts are "
+        "never collected (default: REPRO_BUS_DIR; unset = no protection)",
     )
     verify_p = cache_sub.add_parser(
         "verify", help="decode every artifact; report (and drop) corrupt ones"

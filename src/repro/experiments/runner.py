@@ -5,10 +5,14 @@ The paper's headline figures (Fig. 7-10) are grids of *independent*
 figure into a declarative list of :class:`Cell` jobs and executes them
 through one :class:`ExperimentRunner` that
 
-* **parallelizes** — unique attacks run over a shared
-  :class:`~concurrent.futures.ProcessPoolExecutor` (``REPRO_JOBS`` or
-  ``--jobs``; the default ``0`` stays serial so single-core runs remain
-  exactly reproducible with zero pool overhead);
+* **parallelizes** — unique attacks are handed to a pluggable
+  :class:`~repro.bus.protocol.JobBus`: the default ``local`` bus runs
+  them serially or over a ``ProcessPoolExecutor`` on this host
+  (``REPRO_JOBS`` / ``--jobs``; ``0`` stays serial so single-core runs
+  remain exactly reproducible with zero pool overhead), while the
+  ``spool`` and ``socket`` buses fan the same jobs out to independent
+  ``repro worker`` processes (``--bus spool --bus-dir`` /
+  ``--bus socket``);
 * **caches** — locked netlists and trained attack results are keyed by
   content (a digest of the locked BENCH text plus the attack
   configuration with the post-processing threshold normalized out), so a
@@ -43,12 +47,12 @@ from __future__ import annotations
 
 import hashlib
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.benchgen import load_benchmark
+from repro.bus.protocol import JobBus, resolve_bus
 from repro.core import MuxLinkConfig, MuxLinkResult, rescore_key, run_muxlink, score_key
 from repro.experiments.common import (
     AttackRecord,
@@ -302,16 +306,25 @@ class ExperimentRunner:
         self,
         jobs: int | str | None = None,
         store: ArtifactStore | str | os.PathLike | None = None,
+        bus: JobBus | str | None = None,
+        bus_dir: str | os.PathLike | None = None,
+        bus_addr: str | None = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.store = resolve_store(store)
+        self.bus = resolve_bus(
+            bus,
+            jobs=self.jobs,
+            store=self.store,
+            bus_dir=bus_dir,
+            bus_addr=bus_addr,
+        )
         self.stats = RunnerStats()
         self._bases: dict[tuple[str, float], Circuit] = {}
         self._base_digests: dict[tuple[str, float], str] = {}
         self._locks: dict[tuple, LockedCircuit] = {}
         self._digests: dict[tuple, str] = {}
         self._attacks: dict[str, MuxLinkResult] = {}
-        self._pool: ProcessPoolExecutor | None = None
 
     # -- context management -------------------------------------------------
     def __enter__(self) -> "ExperimentRunner":
@@ -321,15 +334,8 @@ class ExperimentRunner:
         self.close()
 
     def close(self) -> None:
-        """Shut down the shared worker pool (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-
-    def _executor(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
-        return self._pool
+        """Release the job bus (worker pool / sockets; idempotent)."""
+        self.bus.close()
 
     # -- artifact caches ----------------------------------------------------
     def base_circuit(self, benchmark: str, circuit_scale: float) -> Circuit:
@@ -454,38 +460,27 @@ class ExperimentRunner:
         return True
 
     def _execute(self, pending: dict[str, AttackJob]) -> None:
-        """Run the unique jobs; workers consume/produce artifact payloads.
+        """Run the unique jobs through the configured bus.
 
         Every finished artifact is cached and written through **as it
         completes** — a crashed worker or an interrupt late in a grid
         must not discard hours of already-finished training; the rerun
-        resumes from whatever landed in the store.  The first failure is
-        re-raised after the surviving results are persisted.
+        resumes from whatever landed in the store.  Failure semantics
+        are the bus's (the local bus re-raises the first failure after
+        draining survivors; the distributed buses requeue and ultimately
+        quarantine).
         """
         jobs = list(pending.values())
-        if self.jobs > 1 and len(jobs) > 1:
-            futures = {
-                self._executor().submit(execute_attack_job, job): job
-                for job in jobs
-            }
-            failure: BaseException | None = None
-            for future in as_completed(futures):
-                try:
-                    payload = future.result()
-                except BaseException as exc:
-                    if failure is None:
-                        failure = exc
-                    continue
-                self._finish_job(futures[future], payload)
-            if failure is not None:
-                raise failure
-        else:
-            for job in jobs:
-                self._finish_job(job, execute_attack_job(job))
+        if not jobs:
+            return
+        for job, payload, persisted in self.bus.run(jobs):
+            self._finish_job(job, payload, persisted=persisted)
 
-    def _finish_job(self, job: AttackJob, payload: dict) -> None:
+    def _finish_job(
+        self, job: AttackJob, payload: dict, persisted: bool = False
+    ) -> None:
         self._attacks[job.store_key] = decode_attack_artifact(payload)
-        if self.store is not None:
+        if self.store is not None and not persisted:
             self.store.put("attacks", job.store_key, payload)
 
     def _materialize(

@@ -1,0 +1,148 @@
+"""SpoolDir lease protocol: enqueue / lease / heartbeat / reap / quarantine."""
+
+import time
+
+import pytest
+
+from repro.bus import (
+    BusError,
+    LocalBus,
+    SpoolBus,
+    SpoolDir,
+    decode_job,
+    encode_job,
+    resolve_bus,
+)
+from repro.experiments import SMOKE_SCALE, make_cell
+from repro.experiments.common import resolve_worker_count
+from repro.experiments.runner import AttackJob
+
+
+def _job(key: str = "a" * 16) -> dict:
+    cell = make_cell(SMOKE_SCALE, "c1355", 0.1, "D-MUX", 6, seed=0)
+    return encode_job(
+        AttackJob(store_key=key, circuit={"fake": 1}, config=cell.config)
+    )
+
+
+def test_enqueue_lease_complete_lifecycle(tmp_path):
+    spool = SpoolDir(tmp_path)
+    assert spool.lease() is None  # empty spool
+    assert spool.enqueue("k1", _job("k1"))
+    assert spool.pending_keys() == ["k1"]
+    assert not spool.enqueue("k1", _job("k1"))  # already pending
+
+    key, payload = spool.lease()
+    assert key == "k1"
+    assert payload["attempt"] == 0
+    assert spool.pending_keys() == [] and spool.leased_keys() == ["k1"]
+    assert not spool.enqueue("k1", _job("k1"))  # already leased
+    assert spool.lease() is None  # nothing else to claim
+
+    assert spool.heartbeat("k1")
+    spool.complete("k1")
+    assert spool.leased_keys() == []
+    assert not spool.heartbeat("k1")  # lease gone
+
+
+def test_job_payload_roundtrip(tmp_path):
+    spool = SpoolDir(tmp_path)
+    original = _job("k1")
+    spool.enqueue("k1", original)
+    _, payload = spool.lease()
+    job = decode_job(payload["job"])
+    assert job.store_key == "k1"
+    assert job.circuit == {"fake": 1}
+    assert job.config == decode_job(original).config
+
+
+def test_reap_stale_requeues_with_bumped_attempt(tmp_path):
+    spool = SpoolDir(tmp_path, stale_after=0.2, max_attempts=3)
+    spool.enqueue("k1", _job("k1"))
+    spool.lease()
+    assert spool.reap_stale() == 0  # heartbeat still fresh
+    time.sleep(0.3)
+    assert spool.reap_stale() == 1
+    assert spool.pending_keys() == ["k1"] and spool.leased_keys() == []
+    _, payload = spool.lease()
+    assert payload["attempt"] == 1
+    assert "lease expired" in str(payload["last_error"])
+
+
+def test_fail_requeues_then_quarantines_with_traceback(tmp_path):
+    spool = SpoolDir(tmp_path, max_attempts=2)
+    spool.enqueue("k1", _job("k1"))
+    spool.lease()
+    assert not spool.fail("k1", "boom one")  # attempt 1 of 2: requeued
+    spool.lease()
+    assert spool.fail("k1", "boom two")  # attempt 2 of 2: quarantined
+    assert spool.pending_keys() == [] and spool.leased_keys() == []
+    assert spool.quarantined_keys() == ["k1"]
+    (poisoned,) = spool.quarantined()
+    assert poisoned.key == "k1"
+    assert poisoned.attempts == 2
+    assert poisoned.traceback == "boom two"
+    # A quarantined job refuses re-enqueue until an operator clears it.
+    assert not spool.enqueue("k1", _job("k1"))
+
+
+def test_unreadable_job_file_is_quarantined_on_lease(tmp_path):
+    spool = SpoolDir(tmp_path)
+    spool.enqueue("good", _job("good"))
+    spool.pending_dir.joinpath("bad.npz").write_bytes(b"not a job")
+    leased = spool.lease()
+    assert leased is not None and leased[0] == "good"
+    assert spool.quarantined_keys() == ["bad"]
+
+
+def test_referenced_keys_cover_pending_and_leased(tmp_path):
+    spool = SpoolDir(tmp_path)
+    spool.enqueue("k1", _job("k1"))
+    spool.enqueue("k2", _job("k2"))
+    spool.lease()
+    assert spool.referenced_keys() == {"k1", "k2"}
+    spool.complete("k1")
+    assert spool.referenced_keys() == {"k2"}
+
+
+def test_malformed_keys_rejected(tmp_path):
+    spool = SpoolDir(tmp_path)
+    for bad in ("", "../escape", "a.b", "a/b"):
+        with pytest.raises(ValueError):
+            spool.enqueue(bad, _job())
+
+
+def test_resolve_bus_names_and_errors(tmp_path, monkeypatch):
+    assert isinstance(resolve_bus(None, jobs=0), LocalBus)
+    assert isinstance(resolve_bus("local", jobs=4), LocalBus)
+    with pytest.raises(BusError, match="directory"):
+        resolve_bus("spool")
+    with pytest.raises(BusError, match="store"):
+        resolve_bus("spool", bus_dir=tmp_path)
+    with pytest.raises(BusError, match="unknown job bus"):
+        resolve_bus("carrier-pigeon")
+    monkeypatch.setenv("REPRO_BUS", "spool")
+    monkeypatch.setenv("REPRO_BUS_DIR", str(tmp_path / "spool"))
+    from repro.store import ArtifactStore
+
+    bus = resolve_bus(None, store=ArtifactStore(tmp_path / "store"))
+    assert isinstance(bus, SpoolBus)
+    passthrough = LocalBus()
+    assert resolve_bus(passthrough) is passthrough
+
+
+def test_auto_worker_policy_resolves_in_process(monkeypatch):
+    # Measured on this 24-core host: extraction pools and pooled gradient
+    # shards never break even, so `auto` must pick the in-process path.
+    assert resolve_worker_count("auto", "workers") == 0
+    assert resolve_worker_count("auto", "train_workers") == 1
+    assert resolve_worker_count("3", "workers") == 3
+    assert resolve_worker_count(2, "train_workers") == 2
+    with pytest.raises(KeyError):
+        resolve_worker_count(1, "nope")
+
+    monkeypatch.setenv("REPRO_WORKERS", "auto")
+    monkeypatch.setenv("REPRO_TRAIN_WORKERS", "auto")
+    config = SMOKE_SCALE.attack_config(seed=0)
+    assert config.n_workers == 0
+    assert config.train.n_train_workers == 1

@@ -1,0 +1,38 @@
+"""BLAS thread capping: found on this host, no-op contract, determinism.
+
+The bit-identity contract of every bus backend rests on all processes
+using the *same* OpenBLAS thread count — the pool size changes the
+floating-point reduction order.  ``repro`` pins the pool to 1 at import
+(``REPRO_BLAS_THREADS`` overrides); these tests cover the primitive.
+"""
+
+import numpy as np
+
+from repro.bus.threads import _candidate_libraries, limit_blas_threads
+
+
+def test_noop_contract():
+    assert limit_blas_threads(0) is False
+    assert limit_blas_threads(-3) is False
+
+
+def test_caps_the_loaded_openblas():
+    # numpy is imported, so its BLAS is mapped into this process.  The
+    # pinned container image ships a scipy-openblas numpy; if a future
+    # image swaps BLAS implementations the discovery legitimately finds
+    # nothing and capping degrades to a no-op.
+    if not _candidate_libraries():
+        assert limit_blas_threads(1) is False
+        return
+    assert limit_blas_threads(1) is True
+
+
+def test_matmul_bit_identical_under_recapping():
+    rng = np.random.default_rng(7)
+    a = rng.standard_normal((256, 256))
+    limit_blas_threads(1)
+    one = a @ a
+    limit_blas_threads(2)
+    limit_blas_threads(1)
+    again = a @ a
+    assert (one == again).all()
