@@ -11,6 +11,16 @@ Quickstart::
     locked = lock_dmux(base, key_size=32, seed=1)
     result = run_muxlink(locked.circuit)
     print(score_key(result.predicted_key, locked.key).kpa)
+
+.. note:: **Import side effect — BLAS thread pin.**  ``import repro``
+   caps the process-wide OpenBLAS pool to **one thread**.  The pool
+   size changes floating-point summation order, and every repro
+   backend is held to a bit-identity contract, so the pin is the
+   prerequisite for reproducible numbers (measured zero cost on these
+   workloads).  If you embed repro in a larger application whose other
+   BLAS workloads need parallelism, set ``REPRO_BLAS_THREADS=N``
+   before importing (``0`` leaves BLAS untouched).  See README
+   "BLAS threads and determinism".
 """
 
 from repro.benchgen import (

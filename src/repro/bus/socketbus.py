@@ -261,12 +261,24 @@ class SocketBus(JobBus):
                             yield job, message["result"], False
                             t0 = time.perf_counter()
                     elif op == "failed":
+                        key = str(message["key"])
+                        # connection.executing is the only record of this
+                        # attempt's count — read it before clearing, or a
+                        # deterministic crasher resets to attempt 0 every
+                        # round and never reaches quarantine.
+                        attempt = None
+                        if (
+                            connection.executing is not None
+                            and connection.executing[0] == key
+                        ):
+                            attempt = connection.executing[1]
                         connection.executing = None
                         self._record_failure(
-                            str(message["key"]),
+                            key,
                             str(message.get("traceback", "")),
                             queue,
                             waiting,
+                            attempt,
                         )
             self.stats.adopt_seconds += time.perf_counter() - t0
             if (

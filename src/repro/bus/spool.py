@@ -143,14 +143,23 @@ class SpoolDir:
                 os.rename(path, target)
             except FileNotFoundError:
                 continue  # another worker won this job
+            # rename preserves the pending-file mtime, which already
+            # looks stale to a reaper whenever the job sat queued longer
+            # than stale_after — stamp lease birth *before* decoding, or
+            # a concurrent reap_stale can steal the fresh lease.
+            try:
+                os.utime(target)  # heartbeat zero = lease birth
+            except FileNotFoundError:
+                continue  # reaped in the rename window; the reaper retries it
             try:
                 payload = codec.load(target, kind=BUS_JOB_KIND)
-            except (CodecError, FileNotFoundError) as exc:
+            except FileNotFoundError:
+                continue  # lost a reap race after all — not a poisoned job
+            except CodecError as exc:
                 self._quarantine_raw(
                     target, {"job": None}, 0, f"unreadable job file: {exc}"
                 )
                 continue
-            os.utime(target)  # heartbeat zero = lease birth
             return path.stem, payload
         return None
 

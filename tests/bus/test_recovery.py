@@ -199,6 +199,42 @@ def test_poisoned_job_quarantines_with_persisted_traceback(tmp_path):
     assert "Traceback" in entry.traceback
 
 
+def test_socket_poisoned_job_quarantines_with_traceback():
+    """Socket-mode twin of the spool poisoned-job test: a job that
+    deterministically crashes must burn its attempt budget — the server
+    reads the attempt off the connection before clearing it — and raise
+    the last shipped worker traceback, not requeue at attempt 0 forever."""
+    cell = fig7_cells(SMOKE_SCALE, seed=0)[0]
+    poisoned = AttackJob(
+        store_key="f" * 16,
+        circuit={"not": "a circuit"},  # decode_circuit will raise
+        config=cell.config,
+    )
+    bus = SocketBus(poll=0.05, max_attempts=2, timeout=60)
+    worker = threading.Thread(
+        target=run_worker,
+        kwargs=dict(
+            bus_addr=bus.address,
+            poll=0.05,
+            idle_timeout=5.0,
+            log=lambda *a: None,
+        ),
+        daemon=True,
+    )
+    worker.start()
+    try:
+        with pytest.raises(BusError) as excinfo:
+            list(bus.run([poisoned]))
+    finally:
+        bus.close()
+        worker.join(timeout=30)
+    message = str(excinfo.value)
+    assert "failed 2 time(s)" in message
+    assert "Traceback" in message  # the worker's shipped traceback
+    assert bus.stats.requeues == 1  # attempt 0 → 1, then quarantine
+    assert bus.stats.quarantined == 1
+
+
 def test_socket_connection_drop_requeues_to_healthy_worker(tmp_path):
     """A socket worker that vanishes mid-job (connection EOF) has its job
     requeued; a healthy worker completes it and results match serial."""

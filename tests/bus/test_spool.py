@@ -1,5 +1,6 @@
 """SpoolDir lease protocol: enqueue / lease / heartbeat / reap / quarantine."""
 
+import os
 import time
 
 import pytest
@@ -84,6 +85,49 @@ def test_fail_requeues_then_quarantines_with_traceback(tmp_path):
     assert poisoned.traceback == "boom two"
     # A quarantined job refuses re-enqueue until an operator clears it.
     assert not spool.enqueue("k1", _job("k1"))
+
+
+def test_lease_stamps_fresh_heartbeat_before_decoding(tmp_path, monkeypatch):
+    """``os.rename`` preserves the pending-file mtime, so a job that sat
+    queued longer than ``stale_after`` (the normal regime when jobs
+    outnumber workers) must be re-stamped *before* decoding — otherwise a
+    concurrent ``reap_stale`` can steal the fresh lease mid-decode."""
+    from repro.bus.spool import codec
+
+    spool = SpoolDir(tmp_path, stale_after=5.0)
+    spool.enqueue("k1", _job("k1"))
+    old = time.time() - 100.0
+    os.utime(spool.pending_dir / "k1.npz", (old, old))
+
+    ages = {}
+    real_load = codec.load
+
+    def spying_load(path, **kwargs):
+        ages["at_load"] = time.time() - os.stat(path).st_mtime
+        return real_load(path, **kwargs)
+
+    monkeypatch.setattr("repro.bus.spool.codec.load", spying_load)
+    leased = spool.lease()
+    assert leased is not None and leased[0] == "k1"
+    assert ages["at_load"] < spool.stale_after
+    assert spool.reap_stale() == 0  # the held lease is not reapable
+
+
+def test_lease_lost_to_reaper_mid_decode_is_not_quarantined(
+    tmp_path, monkeypatch
+):
+    """A reaper claiming the file between our rename and our load is a
+    lost race — the reaper owns the retry; quarantining a ``job=None``
+    entry here would abort the whole grid over a healthy job."""
+    spool = SpoolDir(tmp_path, stale_after=5.0)
+    spool.enqueue("k1", _job("k1"))
+
+    def reaped_load(path, **kwargs):
+        raise FileNotFoundError(path)
+
+    monkeypatch.setattr("repro.bus.spool.codec.load", reaped_load)
+    assert spool.lease() is None
+    assert spool.quarantined_keys() == []
 
 
 def test_unreadable_job_file_is_quarantined_on_lease(tmp_path):
