@@ -1,0 +1,86 @@
+"""Attack-zoo warm-store gate: leaderboard cold vs warm, bit-identical.
+
+Three passes over the leaderboard grid (every attack × scheme × key
+size at the active scale):
+
+1. **serial** — in-memory reference, no store.
+2. **cold** — fresh content-addressed store; every lock, MuxLink attack
+   and baseline report is computed and persisted.
+3. **warm** — a *fresh* runner over the same store; the gate asserts it
+   performs zero lock jobs, zero MuxLink jobs and zero baseline jobs,
+   and that its table is bit-identical to the serial in-memory pass.
+
+Cold/warm wall-clock lands in ``BENCH_training.json`` via
+``perf_record.update_record``, so the adoption speedup is tracked
+across PRs.
+"""
+
+import shutil
+import tempfile
+import time
+
+from perf_record import update_record
+from repro.experiments import (
+    ExperimentRunner,
+    active_scale,
+    format_leaderboard,
+    leaderboard_fingerprint,
+    run_leaderboard,
+)
+
+
+def test_leaderboard_warm_store_gate():
+    scale = active_scale()
+    store_dir = tempfile.mkdtemp(prefix="repro-zoo-store-")
+    try:
+        t0 = time.perf_counter()
+        with ExperimentRunner(jobs=0) as serial_runner:
+            serial = run_leaderboard(scale=scale, seed=0, runner=serial_runner)
+        t_serial = time.perf_counter() - t0
+        print()
+        print(format_leaderboard(serial))
+
+        t0 = time.perf_counter()
+        with ExperimentRunner(jobs=0, store=store_dir) as cold_runner:
+            cold = run_leaderboard(scale=scale, seed=0, runner=cold_runner)
+            cold_stats = cold_runner.stats
+        t_cold = time.perf_counter() - t0
+        print(f"  cold pass: {t_cold:7.2f}s  {cold_stats.summary()}")
+
+        t0 = time.perf_counter()
+        with ExperimentRunner(jobs=0, store=store_dir) as warm_runner:
+            warm = run_leaderboard(scale=scale, seed=0, runner=warm_runner)
+            warm_stats = warm_runner.stats
+        t_warm = time.perf_counter() - t0
+        print(f"  warm pass: {t_warm:7.2f}s  {warm_stats.summary()}")
+
+        assert warm_stats.locks_computed == 0, "warm pass re-locked"
+        assert warm_stats.attacks_computed == 0, "warm pass re-trained MuxLink"
+        assert warm_stats.baselines_computed == 0, "warm pass re-ran baselines"
+        reference = leaderboard_fingerprint(serial)
+        assert leaderboard_fingerprint(cold) == reference
+        assert leaderboard_fingerprint(warm) == reference
+        # Fingerprints cover every computed value (keys, metrics, bit
+        # counts), i.e. the table modulo its wall-clock column.
+
+        update_record(
+            "bench_fig2_zoo",
+            {
+                "scale": scale.name,
+                "rows": len(serial),
+                "serial_seconds": round(t_serial, 4),
+                "cold_seconds": round(t_cold, 4),
+                "warm_seconds": round(t_warm, 4),
+                "cold_baselines_computed": cold_stats.baselines_computed,
+                "warm_baselines_computed": warm_stats.baselines_computed,
+                "warm_locks_computed": warm_stats.locks_computed,
+                "warm_attacks_computed": warm_stats.attacks_computed,
+            },
+        )
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    test_leaderboard_warm_store_gate()
+    print("bench_fig2_zoo: OK")

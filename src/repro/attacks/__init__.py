@@ -1,11 +1,21 @@
 """Baseline oracle-less attacks: SAAM, SCOPE, SWEEP, random guess."""
 
+from repro.attacks.baseline import (
+    BASELINE_ATTACKS,
+    BaselineConfig,
+    BaselineReport,
+    run_baseline_attack,
+)
 from repro.attacks.random_guess import random_guess_attack
 from repro.attacks.saam import SaamReport, saam_attack
 from repro.attacks.scope import ScopeReport, scope_attack
 from repro.attacks.sweep import SweepAttack, SweepReport
 
 __all__ = [
+    "BASELINE_ATTACKS",
+    "BaselineConfig",
+    "BaselineReport",
+    "run_baseline_attack",
     "saam_attack",
     "SaamReport",
     "scope_attack",

@@ -108,6 +108,12 @@ class SweepAttack:
         scores: dict[int, float] = {}
         n_blind = 0
         for bit, delta in deltas.items():
+            if delta.shape != self._weights.shape:
+                raise AttackError(
+                    f"feature dimension mismatch: target design yields "
+                    f"{delta.shape[0]}-dim features but the model was "
+                    f"fitted on {self._weights.shape[0]}-dim features"
+                )
             score = float(delta @ self._weights)
             scores[bit] = score
             if score > self.margin:

@@ -20,12 +20,14 @@ from repro.bus.protocol import (
     DEFAULT_POLL,
     DEFAULT_STALE_AFTER,
     DEFAULT_WORKER_BLAS_THREADS,
+    JOB_ARTIFACT_KINDS,
     BusError,
     BusStats,
     JobBus,
     QuarantinedJob,
     decode_job,
     encode_job,
+    job_artifact_kind,
     resolve_bus,
 )
 from repro.bus.socketbus import SocketBus, parse_address, serve_spool
@@ -41,7 +43,9 @@ __all__ = [
     "BUS_JOB_KIND",
     "BUS_MESSAGE_KIND",
     "BUS_QUARANTINE_KIND",
+    "JOB_ARTIFACT_KINDS",
     "BusError",
+    "job_artifact_kind",
     "BusStats",
     "DEFAULT_MAX_ATTEMPTS",
     "DEFAULT_POLL",

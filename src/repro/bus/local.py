@@ -49,12 +49,12 @@ class LocalBus(JobBus):
     def run(
         self, jobs: "list[AttackJob]"
     ) -> "Iterator[tuple[AttackJob, dict, bool]]":
-        from repro.experiments.runner import execute_attack_job
+        from repro.experiments.runner import execute_job
 
         self.stats.submitted += len(jobs)
         if self.jobs > 1 and len(jobs) > 1:
             futures = {
-                self._executor().submit(execute_attack_job, job): job
+                self._executor().submit(execute_job, job): job
                 for job in jobs
             }
             failure: BaseException | None = None
@@ -71,7 +71,7 @@ class LocalBus(JobBus):
                 raise failure
         else:
             for job in jobs:
-                payload = execute_attack_job(job)
+                payload = execute_job(job)
                 self.stats.completed += 1
                 yield job, payload, False
 

@@ -44,11 +44,13 @@ __all__ = [
     "BUS_MESSAGE_KIND",
     "BUS_QUARANTINE_KIND",
     "DEFAULT_WORKER_BLAS_THREADS",
+    "JOB_ARTIFACT_KINDS",
     "BusError",
     "BusStats",
     "JobBus",
     "decode_job",
     "encode_job",
+    "job_artifact_kind",
     "resolve_bus",
 ]
 
@@ -150,18 +152,57 @@ class JobBus:
 
 
 # ---------------------------------------------------------------------------
-# Job payloads — the spool-file / wire shape of an AttackJob
+# Job payloads — the spool-file / wire shape of a job
 # ---------------------------------------------------------------------------
-def encode_job(job: "AttackJob") -> dict:
-    """Codec-safe payload of one job (no live dataclasses cross hosts)."""
-    return {
+#: ``job.kind`` → store kind the finished artifact lands under.  Workers
+#: use this to warm-skip and publish without decoding the job first.
+JOB_ARTIFACT_KINDS = {"attack": "attacks", "baseline": "baselines"}
+
+
+def job_artifact_kind(kind: str) -> str:
+    """Store kind for a job-kind tag (``"attack"`` for legacy payloads)."""
+    try:
+        return JOB_ARTIFACT_KINDS[kind]
+    except KeyError:
+        raise BusError(
+            f"unknown job kind {kind!r}; choose from "
+            f"{sorted(JOB_ARTIFACT_KINDS)}"
+        )
+
+
+def encode_job(job) -> dict:
+    """Codec-safe payload of one job (no live dataclasses cross hosts).
+
+    ``kind`` dispatches :func:`decode_job`; payloads written before the
+    field existed decode as MuxLink attack jobs.  Baseline jobs addi-
+    tionally carry the encoded training locks (SWEEP's corpus, keys
+    included — the exchange format is store payloads all the way down).
+    """
+    payload = {
+        "kind": getattr(job, "kind", "attack"),
         "store_key": job.store_key,
         "circuit": job.circuit,
         "config": dataclasses.asdict(job.config),
     }
+    if payload["kind"] == "baseline":
+        payload["train"] = list(job.train)
+    return payload
 
 
-def decode_job(payload: dict) -> "AttackJob":
+def decode_job(payload: dict):
+    kind = payload.get("kind", "attack")
+    if kind == "baseline":
+        from repro.attacks.baseline import BaselineConfig
+        from repro.experiments.runner import BaselineJob
+
+        return BaselineJob(
+            store_key=payload["store_key"],
+            circuit=payload["circuit"],
+            config=BaselineConfig(**payload["config"]),
+            train=tuple(payload.get("train") or ()),
+        )
+    if kind != "attack":
+        raise BusError(f"unknown job kind {kind!r} in payload")
     from repro.core import MuxLinkConfig
     from repro.experiments.runner import AttackJob
     from repro.linkpred import TrainConfig

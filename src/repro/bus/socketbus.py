@@ -423,7 +423,11 @@ def serve_spool(
                             spool.release(key, "worker connection lost")
                     elif op == "done":
                         key = str(message["key"])
-                        store.put("attacks", key, message["result"])
+                        store.put(
+                            str(message.get("kind", "attacks")),
+                            key,
+                            message["result"],
+                        )
                         spool.complete(key)
                         connection.executing = None
                         stats["completed"] += 1

@@ -320,14 +320,15 @@ class SpoolBus(JobBus):
             t0 = time.perf_counter()
             progressed = False
             for key in list(waiting):
-                if not self.store.has("attacks", key):
+                kind = getattr(waiting[key], "artifact_kind", "attacks")
+                if not self.store.has(kind, key):
                     continue
-                payload = self.store.get("attacks", key)
+                payload = self.store.get(kind, key)
                 if payload is None:
                     # A worker published a torn/corrupt artifact: drop it
                     # and put the job back on the queue instead of
                     # polling the bad file forever.
-                    self.store.path_for("attacks", key).unlink(missing_ok=True)
+                    self.store.path_for(kind, key).unlink(missing_ok=True)
                     self.spool.enqueue(key, encode_job(waiting[key]))
                     continue
                 job = waiting.pop(key)

@@ -4,8 +4,9 @@ A worker is a plain process started with either a spool directory
 (``repro worker --bus-dir SPOOL --store STORE``) or a coordinator
 address (``repro worker --bus-addr HOST:PORT``).  It knows nothing
 about figures or grids — it executes
-:func:`~repro.experiments.runner.execute_attack_job` on whatever the bus
-hands it, one job at a time:
+:func:`~repro.experiments.runner.execute_job` on whatever the bus
+hands it (MuxLink attack jobs and baseline-attack jobs alike), one job
+at a time:
 
 * **spool mode** — lease via atomic rename, heartbeat the lease file
   from a daemon thread while training runs, write the artifact to the
@@ -164,8 +165,8 @@ def _run_spool_worker(
     max_jobs: int | None,
     log,
 ) -> WorkerStats:
-    from repro.bus.protocol import DEFAULT_MAX_ATTEMPTS
-    from repro.experiments.runner import execute_attack_job
+    from repro.bus.protocol import DEFAULT_MAX_ATTEMPTS, job_artifact_kind
+    from repro.experiments.runner import execute_job
     from repro.store import resolve_store
 
     resolved = resolve_store(store)
@@ -198,16 +199,18 @@ def _run_spool_worker(
             continue
         idle_since = time.monotonic()
         key, payload = leased
-        if resolved.has("attacks", key):
+        job_payload = payload.get("job") or {}
+        artifact_kind = job_artifact_kind(job_payload.get("kind", "attack"))
+        if resolved.has(artifact_kind, key):
             # Warm store: a peer (or a previous run) already produced
-            # this artifact — adopt it instead of retraining.
+            # this artifact — adopt it instead of recomputing.
             spool.complete(key)
             stats.skipped += 1
             log(f"worker[{os.getpid()}]: {key[:12]}… already in store")
         else:
             _execute_leased(
-                spool, resolved, key, payload, heartbeat_every, stats, log,
-                execute_attack_job,
+                spool, resolved, artifact_kind, key, payload,
+                heartbeat_every, stats, log, execute_job,
             )
         if max_jobs is not None and stats.executed + stats.skipped >= max_jobs:
             break
@@ -218,19 +221,20 @@ def _run_spool_worker(
 def _execute_leased(
     spool: SpoolDir,
     store: "ArtifactStore",
+    artifact_kind: str,
     key: str,
     payload: dict,
     heartbeat_every: float,
     stats: WorkerStats,
     log,
-    execute_attack_job,
+    execute_job,
 ) -> None:
     try:
         job = decode_job(payload["job"])
         with _Heartbeat(spool, key, heartbeat_every):
             _test_delay()
-            artifact = execute_attack_job(job)
-        store.put("attacks", key, artifact)
+            artifact = execute_job(job)
+        store.put(artifact_kind, key, artifact)
         spool.complete(key)
         stats.executed += 1
         log(f"worker[{os.getpid()}]: completed {key[:12]}…")
@@ -256,7 +260,7 @@ def _run_socket_worker(
     log,
 ) -> WorkerStats:
     from repro.bus.socketbus import parse_address, recv_message, send_message
-    from repro.experiments.runner import execute_attack_job
+    from repro.experiments.runner import execute_job
 
     host, port = parse_address(bus_addr)
     stats = WorkerStats()
@@ -305,7 +309,7 @@ def _run_socket_worker(
             try:
                 job = decode_job(message["job"])
                 _test_delay()
-                artifact = execute_attack_job(job)
+                artifact = execute_job(job)
             except Exception:
                 stats.failed += 1
                 reply = {
@@ -315,7 +319,14 @@ def _run_socket_worker(
                 }
             else:
                 stats.executed += 1
-                reply = {"op": "done", "key": key, "result": artifact}
+                reply = {
+                    "op": "done",
+                    "key": key,
+                    # The broker persists the result under this store
+                    # kind (a plain coordinator ignores it).
+                    "kind": getattr(job, "artifact_kind", "attacks"),
+                    "result": artifact,
+                }
                 log(f"worker[{os.getpid()}]: completed {key[:12]}…")
             try:
                 send_message(conn, reply)

@@ -9,6 +9,8 @@ Usage examples::
     python -m repro.cli figures --jobs 4                  # pooled fig7-fig10
     python -m repro.cli figures --figures 7 9 --scale smoke
     python -m repro.cli saam locked.bench
+    python -m repro.cli sweep locked.bench --train other1.bench --train other2.bench
+    python -m repro.cli leaderboard --scale smoke --store /tmp/store
     python -m repro.cli hd original.bench recovered.bench
 
 ``attack`` runs subgraph extraction through the batched CSR pipeline
@@ -359,9 +361,46 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
+def _baseline_report(circuit, config, train=(), store=None):
+    """Run one baseline attack, adopting/persisting via the shared store.
+
+    With a store (``--store`` or ``REPRO_STORE``) the report is keyed
+    exactly as runner/bus jobs key it — a ``repro scope --store D`` run
+    warms the same artifact a later ``repro leaderboard --store D``
+    adopts, and vice versa.
+    """
+    from repro.attacks import run_baseline_attack
+    from repro.store import (
+        baseline_store_key,
+        circuit_digest,
+        decode_baseline_artifact,
+        encode_baseline_artifact,
+        resolve_store,
+    )
+
+    resolved = resolve_store(store)
+    if resolved is None:
+        return run_baseline_attack(circuit, config, train=train)
+    key = baseline_store_key(
+        circuit_digest(circuit),
+        config,
+        tuple((circuit_digest(t.circuit), t.key) for t in train),
+    )
+    cached = resolved.get("baselines", key, decoder=decode_baseline_artifact)
+    if cached is not None:
+        return cached
+    report = run_baseline_attack(circuit, config, train=train)
+    resolved.put("baselines", key, encode_baseline_artifact(report))
+    return report
+
+
 def _cmd_saam(args: argparse.Namespace) -> int:
+    from repro.attacks import BaselineConfig
+
     circuit, key = load_bench(args.netlist)
-    report = saam_attack(circuit)
+    report = _baseline_report(
+        circuit, BaselineConfig(attack="saam"), store=args.store
+    )
     print(f"SAAM key guess: {report.predicted_key}")
     if key:
         metrics = score_key(report.predicted_key, key)
@@ -370,13 +409,115 @@ def _cmd_saam(args: argparse.Namespace) -> int:
 
 
 def _cmd_scope(args: argparse.Namespace) -> int:
+    from repro.attacks import BaselineConfig
+
     circuit, key = load_bench(args.netlist)
-    report = scope_attack(circuit, undecided=args.undecided, seed=args.seed)
+    config = BaselineConfig(
+        attack="scope", undecided=args.undecided, seed=args.seed
+    )
+    report = _baseline_report(circuit, config, store=args.store)
     print(f"SCOPE key guess: {report.predicted_key}")
     if key:
         metrics = score_key(report.predicted_key, key)
         kpa = f"{metrics.kpa:.3f}" if metrics.kpa == metrics.kpa else "n/a"
         print(f"AC={metrics.accuracy:.3f} KPA={kpa}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.attacks import BaselineConfig
+    from repro.errors import AttackError
+    from repro.locking.common import LockedCircuit
+
+    circuit, key = load_bench(args.netlist)
+    train = []
+    for path in args.train:
+        train_circuit, train_key = load_bench(path)
+        if not train_key:
+            print(
+                f"error: training netlist {path} carries no '#key' "
+                "comment — SWEEP is supervised and needs the ground "
+                "truth of its corpus",
+                file=sys.stderr,
+            )
+            return 2
+        train.append(
+            LockedCircuit(
+                circuit=train_circuit,
+                key=train_key,
+                localities=[],
+                scheme="cli",
+                original_name=train_circuit.name,
+            )
+        )
+    config = BaselineConfig(
+        attack="sweep",
+        undecided=args.undecided,
+        seed=args.seed,
+        margin=args.margin,
+        ridge=args.ridge,
+    )
+    try:
+        report = _baseline_report(
+            circuit, config, train=tuple(train), store=args.store
+        )
+    except AttackError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"SWEEP key guess: {report.predicted_key}")
+    if key:
+        metrics = score_key(report.predicted_key, key)
+        kpa = f"{metrics.kpa:.3f}" if metrics.kpa == metrics.kpa else "n/a"
+        print(f"AC={metrics.accuracy:.3f} KPA={kpa}")
+    return 0
+
+
+def _cmd_leaderboard(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        ExperimentRunner,
+        active_scale,
+        format_leaderboard,
+        run_leaderboard,
+        scale_by_name,
+    )
+
+    scale = scale_by_name(args.scale) if args.scale else active_scale()
+    if args.train_workers is not None:
+        from dataclasses import replace
+
+        scale = replace(scale, n_train_workers=args.train_workers)
+    print(f"scale={scale.name} jobs={args.jobs if args.jobs is not None else 'env'}")
+    with ExperimentRunner(
+        jobs=args.jobs,
+        store=args.store,
+        bus=args.bus,
+        bus_dir=args.bus_dir,
+        bus_addr=args.bus_addr,
+    ) as runner:
+        if runner.store is not None:
+            print(f"store={runner.store.root}")
+        if runner.bus.name != "local":
+            print(f"bus={runner.bus.name}", end="")
+            address = getattr(runner.bus, "address", None)
+            if address is not None:
+                print(f" addr={address}", end="")
+            print()
+        rows = run_leaderboard(
+            scale=scale,
+            seed=args.seed,
+            runner=runner,
+            attacks=tuple(args.attacks) if args.attacks else None,
+            ensemble=args.ensemble,
+            train_copies=args.train_copies,
+        )
+        print()
+        print(format_leaderboard(rows))
+        print()
+        print(f"runner: {runner.stats.summary()}")
+        if runner.bus.name != "local":
+            print(f"bus[{runner.bus.name}]: {runner.bus.stats.summary()}")
+        if runner.store is not None:
+            print(f"store: {runner.store.stats.summary()}")
     return 0
 
 
@@ -757,13 +898,128 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("saam", help="run the SAAM structural attack")
     p.add_argument("netlist")
+    p.add_argument(
+        "--store",
+        default=None,
+        help="shared artifact store; the report is keyed like runner "
+        "jobs (default: REPRO_STORE, no store when unset)",
+    )
     p.set_defaults(func=_cmd_saam)
 
     p = sub.add_parser("scope", help="run the SCOPE constant-propagation attack")
     p.add_argument("netlist")
     p.add_argument("--undecided", choices=("coin", "x"), default="x")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--store",
+        default=None,
+        help="shared artifact store; the report is keyed like runner "
+        "jobs (default: REPRO_STORE, no store when unset)",
+    )
     p.set_defaults(func=_cmd_scope)
+
+    p = sub.add_parser(
+        "sweep", help="run the SWEEP constant-propagation attack"
+    )
+    p.add_argument("netlist")
+    p.add_argument(
+        "--train",
+        action="append",
+        required=True,
+        metavar="BENCH",
+        help="locked netlist with a stored '#key' to train on "
+        "(repeatable; order matters for the artifact identity)",
+    )
+    p.add_argument("--margin", type=float, default=1e-6)
+    p.add_argument("--undecided", choices=("coin", "x"), default="x")
+    p.add_argument("--ridge", type=float, default=1e-3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--store",
+        default=None,
+        help="shared artifact store; the report is keyed like runner "
+        "jobs (default: REPRO_STORE, no store when unset)",
+    )
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "leaderboard",
+        help="resilience leaderboard: every attack × scheme × key size",
+    )
+    p.add_argument(
+        "--attacks",
+        nargs="+",
+        choices=(
+            "muxlink",
+            "saam",
+            "scope",
+            "sweep",
+            "random",
+            "muxlink+scope",
+            "muxlink+sweep",
+        ),
+        default=None,
+        help="roster to run (default: all primitives; add --ensemble "
+        "for the combined rows)",
+    )
+    p.add_argument(
+        "--ensemble",
+        action="store_true",
+        help="also run MuxLink+SCOPE / MuxLink+SWEEP combined rows",
+    )
+    p.add_argument(
+        "--train-copies",
+        type=int,
+        default=2,
+        help="extra locked copies SWEEP trains on (attacked copy is "
+        "always copy 0, shared with the MuxLink grid)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=lambda v: v if v.strip().lower() == "auto" else int(v),
+        default=None,
+        help="attack worker processes; 'auto' = all cores "
+        "(default: REPRO_JOBS, serial when unset)",
+    )
+    p.add_argument(
+        "--scale",
+        choices=("smoke", "ci", "paper"),
+        default=None,
+        help="experiment preset (default: REPRO_EXPERIMENT_SCALE or ci)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--train-workers",
+        default=None,
+        help="processes executing gradient shards during training "
+        "(default: REPRO_TRAIN_WORKERS or the preset)",
+    )
+    p.add_argument(
+        "--store",
+        default=None,
+        help="persistent artifact store directory; shared with "
+        "'figures' — a leaderboard over a fig7-warmed store re-locks "
+        "and re-attacks nothing (default: REPRO_STORE)",
+    )
+    p.add_argument(
+        "--bus",
+        choices=("local", "spool", "socket"),
+        default=None,
+        help="job execution backend (default: REPRO_BUS or local); "
+        "results are bit-identical across backends",
+    )
+    p.add_argument(
+        "--bus-dir",
+        default=None,
+        help="spool directory for --bus spool (default: REPRO_BUS_DIR)",
+    )
+    p.add_argument(
+        "--bus-addr",
+        default=None,
+        help="bind address for --bus socket, host:port (default: "
+        "REPRO_BUS_ADDR or an ephemeral localhost port)",
+    )
+    p.set_defaults(func=_cmd_leaderboard)
 
     p = sub.add_parser("unlock", help="apply a key to a locked netlist")
     p.add_argument("netlist")

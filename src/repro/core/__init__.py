@@ -10,6 +10,7 @@ from repro.core.muxlink import (
 from repro.core.postprocess import (
     ScoredMux,
     decisions_to_key,
+    ensemble_likelihoods,
     postprocess_likelihoods,
 )
 from repro.core.reconstruct import hamming_with_x, recover_design
@@ -20,6 +21,7 @@ __all__ = [
     "run_muxlink",
     "rescore_key",
     "ScoredMux",
+    "ensemble_likelihoods",
     "postprocess_likelihoods",
     "decisions_to_key",
     "KeyMetrics",

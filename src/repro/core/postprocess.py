@@ -19,11 +19,16 @@ key inputs and shared data-net pairs.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.errors import AttackError
 
-__all__ = ["ScoredMux", "postprocess_likelihoods", "decisions_to_key"]
+__all__ = [
+    "ScoredMux",
+    "ensemble_likelihoods",
+    "postprocess_likelihoods",
+    "decisions_to_key",
+]
 
 
 @dataclass(frozen=True)
@@ -154,3 +159,47 @@ def postprocess_likelihoods(
 def decisions_to_key(decisions: dict[int, str], n_bits: int) -> str:
     """Render per-bit decisions as a key string, ``x`` for missing bits."""
     return "".join(decisions.get(i, "x") for i in range(n_bits))
+
+
+def ensemble_likelihoods(
+    scored: list[ScoredMux],
+    bit_scores: dict[int, float],
+    weight: float = 0.25,
+) -> list[ScoredMux]:
+    """Blend per-bit baseline scores into MuxLink's per-MUX likelihoods.
+
+    *bit_scores* follow the SCOPE/SWEEP sign convention — a positive
+    score backs key-bit value ``"0"`` (select 0 passes the true driver).
+    Scores are normalized by the corpus peak ``max |score|`` so *weight*
+    is a fraction of the likelihood scale regardless of which attack
+    produced them; the boost is added to the backed select's likelihood
+    **before** Algorithm 1, so a structural signal can tip an
+    under-threshold GNN gap over the decision line (and never flips a
+    confident one unless it out-weighs the gap).
+
+    Against D-MUX / symmetric locking the baselines are blind (scores
+    ≈ 0 after normalization degenerate to no-ops), so the ensemble is a
+    strict superset of MuxLink there — exactly the paper's resilience
+    claim restated as a combiner.
+    """
+    if weight < 0:
+        raise AttackError("ensemble weight must be non-negative")
+    if not bit_scores:
+        return list(scored)
+    peak = max(abs(score) for score in bit_scores.values())
+    if peak == 0.0:
+        return list(scored)
+    out: list[ScoredMux] = []
+    for mux in scored:
+        score = bit_scores.get(mux.key_index)
+        if not score:
+            out.append(mux)
+            continue
+        vote = score / peak  # in [-1, 1]; positive backs select 0
+        l0, l1 = mux.likelihoods
+        if vote > 0:
+            l0 += weight * vote
+        else:
+            l1 += weight * -vote
+        out.append(replace(mux, likelihoods=(l0, l1)))
+    return out

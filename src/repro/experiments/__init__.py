@@ -20,7 +20,7 @@ from repro.experiments.common import (
     lock_with,
     scale_by_name,
 )
-from repro.experiments.fig2 import Fig2Row, format_fig2, run_fig2
+from repro.experiments.fig2 import Fig2Row, fig2_cells, format_fig2, run_fig2
 from repro.experiments.fig7 import fig7_cells, format_fig7, run_fig7, summarize_fig7
 from repro.experiments.fig8 import Fig8Row, fig8_cells, format_fig8, run_fig8
 from repro.experiments.fig9 import Fig9Row, fig9_cells, format_fig9, run_fig9
@@ -30,14 +30,29 @@ from repro.experiments.fig10 import (
     format_fig10,
     run_fig10,
 )
+from repro.experiments.leaderboard import (
+    ENSEMBLE_ATTACKS,
+    LEADERBOARD_ATTACKS,
+    LeaderboardRow,
+    format_leaderboard,
+    leaderboard_fingerprint,
+    run_leaderboard,
+)
 from repro.experiments.runner import (
     AttackJob,
+    BaselineCell,
+    BaselineJob,
     Cell,
     ExperimentRunner,
     RunnerStats,
     cell_seed_sequence,
+    derive_baseline_seed,
     derive_cell_seeds,
+    derive_copy_seeds,
     execute_attack_job,
+    execute_baseline_job,
+    execute_job,
+    make_baseline_cell,
     make_cell,
     record_fingerprint,
     resolve_jobs,
@@ -56,18 +71,32 @@ __all__ = [
     "lock_with",
     "format_records",
     "AttackJob",
+    "BaselineCell",
+    "BaselineJob",
     "Cell",
     "ExperimentRunner",
     "RunnerStats",
     "cell_seed_sequence",
+    "derive_baseline_seed",
     "derive_cell_seeds",
+    "derive_copy_seeds",
     "execute_attack_job",
+    "execute_baseline_job",
+    "execute_job",
+    "make_baseline_cell",
     "make_cell",
     "record_fingerprint",
     "resolve_jobs",
     "run_fig2",
+    "fig2_cells",
     "format_fig2",
     "Fig2Row",
+    "LEADERBOARD_ATTACKS",
+    "ENSEMBLE_ATTACKS",
+    "LeaderboardRow",
+    "run_leaderboard",
+    "format_leaderboard",
+    "leaderboard_fingerprint",
     "fig7_cells",
     "run_fig7",
     "format_fig7",

@@ -1,22 +1,40 @@
 """Fig. 2 — SWEEP and SCOPE are blind on D-MUX / symmetric locking.
 
 The paper locks each ISCAS-85 benchmark 100× with K = 64 and shows both
-constant-propagation attacks stuck at KPA ≈ 50 %.  This runner performs the
-same protocol at a configurable number of copies; the claim reproduced is
-the *flat ≈ 0.5 KPA line* across benchmarks and schemes.
+constant-propagation attacks stuck at KPA ≈ 50 %.  This runner performs
+the same protocol at a configurable number of copies; the claim
+reproduced is the *flat ≈ 0.5 KPA line* across benchmarks and schemes.
+
+Since PR 8 the study is a declarative :class:`BaselineCell` grid
+executed by the shared :class:`~repro.experiments.runner.ExperimentRunner`
+— the same engine (and store, and job bus) the MuxLink figures use, so
+locked copies persist, reports are content-addressed, and serial /
+pooled / reordered runs are bit-identical.  Every copy derives its lock
+stream and each attack its coin stream from the cell identity
+(:func:`~repro.experiments.runner.derive_copy_seeds` /
+:func:`~repro.experiments.runner.derive_baseline_seed`), replacing the
+old flat ``seed + i`` scheme that fed the lock, SCOPE's coin and
+SWEEP's coin one correlated stream.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.attacks import SweepAttack, scope_attack
-from repro.benchgen import load_benchmark
-from repro.core.metrics import KeyMetrics, aggregate_metrics, score_key
-from repro.experiments.common import ExperimentScale, active_scale, lock_with
+from repro.core.metrics import KeyMetrics, aggregate_metrics
+from repro.experiments.common import ExperimentScale, active_scale
+from repro.experiments.runner import (
+    BaselineCell,
+    ExperimentRunner,
+    make_baseline_cell,
+)
 from repro.locking import DMUX_SCHEME, SYMMETRIC_SCHEME
 
-__all__ = ["Fig2Row", "run_fig2", "format_fig2"]
+__all__ = ["Fig2Row", "fig2_cells", "run_fig2", "format_fig2"]
+
+#: Attack order within one (scheme, benchmark) block — fixed so the
+#: emitted rows match the historical table layout.
+_FIG2_ATTACKS = ("scope", "sweep")
 
 
 @dataclass(frozen=True)
@@ -29,11 +47,53 @@ class Fig2Row:
     metrics: KeyMetrics
 
 
+def fig2_cells(
+    scale: ExperimentScale | None = None,
+    n_copies: int = 4,
+    key_size: int | None = None,
+    seed: int = 0,
+) -> list[BaselineCell]:
+    """The (scheme × benchmark × attack × copy) grid as declarative cells.
+
+    SWEEP trains leave-one-out: copy *i*'s corpus is every other copy,
+    in index order (the corpus order is part of the artifact identity).
+    """
+    scale = scale or active_scale()
+    key_size = key_size or min(scale.iscas_keys)
+    cells: list[BaselineCell] = []
+    for scheme in (DMUX_SCHEME, SYMMETRIC_SCHEME):
+        for name in scale.iscas:
+            for attack in _FIG2_ATTACKS:
+                for copy in range(n_copies):
+                    train = (
+                        tuple(j for j in range(n_copies) if j != copy)
+                        if attack == "sweep"
+                        else ()
+                    )
+                    cells.append(
+                        make_baseline_cell(
+                            name,
+                            scale.circuit_scale_iscas,
+                            scheme,
+                            key_size,
+                            attack,
+                            seed=seed,
+                            copy=copy,
+                            train_copies=train,
+                            undecided="coin",
+                            margin=1e-3,
+                        )
+                    )
+    return cells
+
+
 def run_fig2(
     scale: ExperimentScale | None = None,
     n_copies: int = 4,
     key_size: int | None = None,
     seed: int = 0,
+    runner: ExperimentRunner | None = None,
+    jobs: int | None = None,
 ) -> list[Fig2Row]:
     """Regenerate the Fig. 2 resilience study.
 
@@ -42,41 +102,30 @@ def run_fig2(
         n_copies: locked copies per benchmark (paper: 100; CI: 4).
         key_size: key bits per copy (paper: 64; default: smallest preset key).
         seed: base RNG seed.
+        runner: shared :class:`ExperimentRunner` (reuses its caches /
+            store / bus); a fresh one honouring *jobs* is used otherwise.
     """
     scale = scale or active_scale()
-    key_size = key_size or min(scale.iscas_keys)
+    cells = fig2_cells(scale, n_copies=n_copies, key_size=key_size, seed=seed)
+    if runner is not None:
+        records = runner.run(cells)
+    else:
+        with ExperimentRunner(jobs=jobs) as owned:
+            records = owned.run(cells)
+    # Cell order is (scheme, benchmark, attack, copy): pool each run of
+    # n_copies consecutive records into one row.
     rows: list[Fig2Row] = []
-    for scheme in (DMUX_SCHEME, SYMMETRIC_SCHEME):
-        for name in scale.iscas:
-            base = load_benchmark(name, scale=scale.circuit_scale_iscas)
-            copies = [
-                lock_with(scheme, base, key_size=key_size, seed=seed + i)
-                for i in range(n_copies)
-            ]
-            # SCOPE: training-free, run per copy and pool.
-            scope_scores = [
-                score_key(
-                    scope_attack(c.circuit, undecided="coin", seed=seed + i).predicted_key,
-                    c.key,
-                )
-                for i, c in enumerate(copies)
-            ]
-            rows.append(
-                Fig2Row(name, scheme, "SCOPE", aggregate_metrics(scope_scores))
+    for start in range(0, len(records), n_copies):
+        block = records[start : start + n_copies]
+        cell = cells[start]
+        rows.append(
+            Fig2Row(
+                cell.benchmark,
+                cell.scheme,
+                cell.attack.upper(),
+                aggregate_metrics([r.metrics for r in block]),
             )
-            # SWEEP: leave-one-out — train on all copies but the target.
-            sweep_scores = []
-            for i, target in enumerate(copies):
-                train = [c for j, c in enumerate(copies) if j != i]
-                attack = SweepAttack(
-                    margin=1e-3, undecided="coin", seed=seed + i
-                ).fit(train)
-                sweep_scores.append(
-                    score_key(attack.attack(target.circuit).predicted_key, target.key)
-                )
-            rows.append(
-                Fig2Row(name, scheme, "SWEEP", aggregate_metrics(sweep_scores))
-            )
+        )
     return rows
 
 

@@ -51,6 +51,11 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.attacks.baseline import (
+    BaselineConfig,
+    BaselineReport,
+    run_baseline_attack,
+)
 from repro.benchgen import load_benchmark
 from repro.bus.protocol import JobBus, resolve_bus
 from repro.core import MuxLinkConfig, MuxLinkResult, rescore_key, run_muxlink, score_key
@@ -64,11 +69,14 @@ from repro.netlist import Circuit
 from repro.store import (
     ArtifactStore,
     attack_store_key,
+    baseline_store_key,
     circuit_digest,
     decode_attack_artifact,
+    decode_baseline_artifact,
     decode_circuit,
     decode_lock_artifact,
     encode_attack_artifact,
+    encode_baseline_artifact,
     encode_circuit,
     encode_lock_artifact,
     lock_store_key,
@@ -77,12 +85,19 @@ from repro.store import (
 
 __all__ = [
     "AttackJob",
+    "BaselineCell",
+    "BaselineJob",
     "Cell",
     "ExperimentRunner",
     "RunnerStats",
     "cell_seed_sequence",
+    "derive_baseline_seed",
     "derive_cell_seeds",
+    "derive_copy_seeds",
     "execute_attack_job",
+    "execute_baseline_job",
+    "execute_job",
+    "make_baseline_cell",
     "make_cell",
     "record_fingerprint",
     "resolve_jobs",
@@ -137,6 +152,57 @@ def derive_cell_seeds(
     )
 
 
+def derive_copy_seeds(
+    seed: int, benchmark: str, scheme: str, key_size: int, copy: int = 0
+) -> tuple[int, int]:
+    """``(lock_seed, train_seed)`` for locked copy *copy* of one cell.
+
+    Spawned children of a :class:`~numpy.random.SeedSequence` are keyed
+    by their index, so copy 0 is **bit-identical** to
+    :func:`derive_cell_seeds` — a baseline attack on copy 0 shares the
+    fig7 grid's locked netlist (and therefore its lock artifact) by
+    content address, while every further copy gets an independent
+    stream regardless of how many copies any particular figure asked
+    for.
+    """
+    children = cell_seed_sequence(seed, benchmark, scheme, key_size).spawn(
+        2 * (int(copy) + 1)
+    )
+    return (
+        int(children[2 * copy].generate_state(1)[0]),
+        int(children[2 * copy + 1].generate_state(1)[0]),
+    )
+
+
+def derive_baseline_seed(
+    seed: int,
+    benchmark: str,
+    scheme: str,
+    key_size: int,
+    attack: str,
+    copy: int = 0,
+) -> int:
+    """Coin-flip stream for one ``(cell, attack, copy)`` baseline run.
+
+    The 5-element spawn key cannot collide with the 3-element cell
+    roots or their 4-element spawned children, and hashing the attack
+    name in keeps SCOPE's and SWEEP's coins independent on the same
+    locked copy — the correlated-RNG bug the old ``seed + i`` scheme
+    had (fig2 once fed the lock, SCOPE and SWEEP one flat stream).
+    """
+    root = np.random.SeedSequence(
+        entropy=seed,
+        spawn_key=(
+            _stable_u32(benchmark),
+            _stable_u32(scheme),
+            int(key_size),
+            _stable_u32(f"baseline:{attack}"),
+            int(copy),
+        ),
+    )
+    return int(root.generate_state(1)[0])
+
+
 @dataclass(frozen=True)
 class Cell:
     """One declarative attack job of a figure grid.
@@ -184,6 +250,74 @@ def make_cell(
     )
 
 
+@dataclass(frozen=True)
+class BaselineCell:
+    """One declarative baseline-attack job (SAAM/SCOPE/SWEEP/random).
+
+    The same self-contained shape as :class:`Cell`: lock seeds and the
+    attack config are precomputed by :func:`make_baseline_cell`, so a
+    grid is pure data.  ``copy`` indexes the locked instance under
+    attack (copy 0 shares the MuxLink grid's lock by construction);
+    ``train_copies``/``train_lock_seeds`` name SWEEP's supervised
+    corpus — other locked copies of the *same* cell identity, in order.
+    """
+
+    benchmark: str
+    scheme: str
+    key_size: int
+    circuit_scale: float
+    seed: int
+    copy: int
+    lock_seed: int
+    attack: str
+    config: BaselineConfig
+    train_copies: tuple[int, ...] = ()
+    train_lock_seeds: tuple[int, ...] = ()
+
+
+def make_baseline_cell(
+    benchmark: str,
+    circuit_scale: float,
+    scheme: str,
+    key_size: int,
+    attack: str,
+    seed: int = 0,
+    copy: int = 0,
+    train_copies: tuple[int, ...] = (),
+    *,
+    undecided: str = "coin",
+    threshold: float = 1e-9,
+    margin: float = 1e-6,
+    ridge: float = 1e-3,
+) -> BaselineCell:
+    """Build a :class:`BaselineCell` with per-cell derived RNG streams."""
+    lock_seed, _ = derive_copy_seeds(seed, benchmark, scheme, key_size, copy)
+    config = BaselineConfig(
+        attack=attack,
+        undecided=undecided,
+        seed=derive_baseline_seed(seed, benchmark, scheme, key_size, attack, copy),
+        threshold=threshold,
+        margin=margin,
+        ridge=ridge,
+    )
+    return BaselineCell(
+        benchmark=benchmark,
+        scheme=scheme,
+        key_size=int(key_size),
+        circuit_scale=float(circuit_scale),
+        seed=int(seed),
+        copy=int(copy),
+        lock_seed=lock_seed,
+        attack=attack,
+        config=config,
+        train_copies=tuple(int(j) for j in train_copies),
+        train_lock_seeds=tuple(
+            derive_copy_seeds(seed, benchmark, scheme, key_size, j)[0]
+            for j in train_copies
+        ),
+    )
+
+
 @dataclass
 class RunnerStats:
     """Instrumented cache counters (tests assert zero re-locks on warm runs).
@@ -202,6 +336,9 @@ class RunnerStats:
     attacks_computed: int = 0
     attacks_loaded: int = 0
     attacks_reused: int = 0
+    baselines_computed: int = 0
+    baselines_loaded: int = 0
+    baselines_reused: int = 0
     cells_run: int = 0
 
     def summary(self) -> str:
@@ -210,7 +347,10 @@ class RunnerStats:
             f"locks={self.locks_computed} "
             f"(+{self.locks_reused} cached, +{self.locks_loaded} store) "
             f"attacks={self.attacks_computed} "
-            f"(+{self.attacks_reused} cached, +{self.attacks_loaded} store)"
+            f"(+{self.attacks_reused} cached, +{self.attacks_loaded} store) "
+            f"baselines={self.baselines_computed} "
+            f"(+{self.baselines_reused} cached, "
+            f"+{self.baselines_loaded} store)"
         )
 
 
@@ -232,9 +372,35 @@ class AttackJob:
         config: the attack configuration (declarative, picklable).
     """
 
+    #: Wire tag dispatching :func:`repro.bus.protocol.decode_job` and
+    #: :func:`execute_job`; ``artifact_kind`` is the store kind the
+    #: finished payload lands under (class attributes, not fields — the
+    #: values are implied by the type and never travel per instance).
+    kind = "attack"
+    artifact_kind = "attacks"
+
     store_key: str
     circuit: dict
     config: MuxLinkConfig
+
+
+@dataclass(frozen=True)
+class BaselineJob:
+    """One pending baseline attack, in the same exchange format.
+
+    ``circuit`` is the key-less encoded target (the attacks are
+    oracle-less); ``train`` carries SWEEP's corpus as full encoded lock
+    artifacts (keys included — supervision needs the ground truth), in
+    corpus order.
+    """
+
+    kind = "baseline"
+    artifact_kind = "baselines"
+
+    store_key: str
+    circuit: dict
+    config: BaselineConfig
+    train: tuple = ()
 
 
 def execute_attack_job(job: AttackJob) -> dict:
@@ -250,13 +416,55 @@ def execute_attack_job(job: AttackJob) -> dict:
     )
 
 
+def execute_baseline_job(job: BaselineJob) -> dict:
+    """Run one :class:`BaselineJob`; returns the encoded report."""
+    train = tuple(
+        decode_lock_artifact(payload) for payload in job.train
+    )
+    report = run_baseline_attack(
+        decode_circuit(job.circuit), job.config, train=train
+    )
+    return encode_baseline_artifact(report)
+
+
+def execute_job(job) -> dict:
+    """Execute any bus job — the one entry point every backend uses."""
+    kind = getattr(job, "kind", "attack")
+    if kind == "attack":
+        return execute_attack_job(job)
+    if kind == "baseline":
+        return execute_baseline_job(job)
+    raise ValueError(f"unknown job kind {kind!r}")
+
+
 def record_fingerprint(record: AttackRecord) -> tuple:
     """Deterministic payload of a record, for bit-identity assertions.
 
     Covers everything the attack *computed* — predicted key, metrics,
     per-MUX likelihoods, training losses — and excludes only wall-clock
-    timing, which can never be identical between two runs.
+    timing, which can never be identical between two runs.  Works for
+    both MuxLink records (``extras["result"]``) and baseline records
+    (``extras["report"]``).
     """
+    if "report" in record.extras:
+        report: BaselineReport = record.extras["report"]
+        return (
+            record.benchmark,
+            record.scheme,
+            record.key_size,
+            report.attack,
+            record.extras.get("copy", 0),
+            record.predicted_key,
+            (
+                record.metrics.n_total,
+                record.metrics.n_correct,
+                record.metrics.n_wrong,
+                record.metrics.n_x,
+            ),
+            tuple(sorted(report.scores.items())),
+            report.n_blind,
+            record.extras["locked"].key,
+        )
     result = record.extras["result"]
     scored = tuple(
         sorted(
@@ -325,6 +533,7 @@ class ExperimentRunner:
         self._locks: dict[tuple, LockedCircuit] = {}
         self._digests: dict[tuple, str] = {}
         self._attacks: dict[str, MuxLinkResult] = {}
+        self._baselines: dict[str, BaselineReport] = {}
 
     # -- context management -------------------------------------------------
     def __enter__(self) -> "ExperimentRunner":
@@ -375,25 +584,34 @@ class ExperimentRunner:
         self._digests[key] = circuit_digest(locked.circuit)
         return self._digests[key]
 
-    def locked_circuit(self, cell: Cell) -> LockedCircuit:
-        """Lock (or reuse) the cell's netlist; digests feed the attack key.
+    def _lock_instance(
+        self,
+        benchmark: str,
+        circuit_scale: float,
+        scheme: str,
+        key_size: int,
+        lock_seed: int,
+    ) -> LockedCircuit:
+        """Lock (or reuse) one netlist instance; digests feed attack keys.
 
         Probe order: in-memory cache, then the artifact store (the
         decoded payload preserves gate insertion order, so a store-loaded
         netlist is attack-identical to a freshly locked one), then a real
-        locking pass — which is written through to the store.
+        locking pass — which is written through to the store.  Explicit
+        arguments (rather than a cell) because SWEEP's training corpus
+        locks instances no cell directly attacks.
         """
-        key = self._lock_key(cell)
+        key = (benchmark, float(circuit_scale), scheme, int(key_size), int(lock_seed))
         if key in self._locks:
             self.stats.locks_reused += 1
             return self._locks[key]
         store_key = None
         if self.store is not None:
             store_key = lock_store_key(
-                self._base_digest(cell.benchmark, cell.circuit_scale),
-                cell.scheme,
-                cell.key_size,
-                cell.lock_seed,
+                self._base_digest(benchmark, circuit_scale),
+                scheme,
+                key_size,
+                lock_seed,
             )
             locked = self.store.get(
                 "locks", store_key, decoder=decode_lock_artifact
@@ -402,15 +620,23 @@ class ExperimentRunner:
                 self._record_lock(key, locked)
                 self.stats.locks_loaded += 1
                 return locked
-        base = self.base_circuit(cell.benchmark, cell.circuit_scale)
-        locked = lock_with(
-            cell.scheme, base, key_size=cell.key_size, seed=cell.lock_seed
-        )
+        base = self.base_circuit(benchmark, circuit_scale)
+        locked = lock_with(scheme, base, key_size=key_size, seed=lock_seed)
         self._record_lock(key, locked)
         self.stats.locks_computed += 1
         if store_key is not None:
             self.store.put("locks", store_key, encode_lock_artifact(locked))
         return locked
+
+    def locked_circuit(self, cell: "Cell | BaselineCell") -> LockedCircuit:
+        """Lock (or reuse) the cell's netlist (see :meth:`_lock_instance`)."""
+        return self._lock_instance(
+            cell.benchmark,
+            cell.circuit_scale,
+            cell.scheme,
+            cell.key_size,
+            cell.lock_seed,
+        )
 
     @staticmethod
     def _attack_key(digest: str, config: MuxLinkConfig) -> str:
@@ -421,31 +647,90 @@ class ExperimentRunner:
         return attack_store_key(digest, config)
 
     # -- execution ----------------------------------------------------------
-    def run(self, cells: list[Cell] | tuple[Cell, ...]) -> list[AttackRecord]:
-        """Execute a grid; returns one record per cell, in cell order."""
+    def run(self, cells) -> list[AttackRecord]:
+        """Execute a grid; returns one record per cell, in cell order.
+
+        Grids may freely mix MuxLink :class:`Cell`\\ s and
+        :class:`BaselineCell`\\ s — all pending unique jobs ride one bus
+        wave, so a leaderboard's GNN trainings and its SCOPE/SWEEP runs
+        fan out over the same workers.
+        """
         cells = list(cells)
-        plans: list[tuple[Cell, tuple, str]] = []
-        pending: dict[str, AttackJob] = {}
+        plans: list[tuple] = []
+        pending: dict = {}
         for cell in cells:
-            locked = self.locked_circuit(cell)
-            lock_key = self._lock_key(cell)
-            attack_key = self._attack_key(self._digests[lock_key], cell.config)
-            if attack_key in self._attacks or attack_key in pending:
-                self.stats.attacks_reused += 1
-            elif self._load_attack(attack_key):
-                self.stats.attacks_loaded += 1
+            if isinstance(cell, BaselineCell):
+                plans.append(self._plan_baseline(cell, pending))
             else:
-                pending[attack_key] = AttackJob(
-                    store_key=attack_key,
-                    circuit=encode_circuit(locked.circuit),
-                    config=cell.config,
-                )
-                self.stats.attacks_computed += 1
-            plans.append((cell, lock_key, attack_key))
+                plans.append(self._plan_attack(cell, pending))
 
         self._execute(pending)
         self.stats.cells_run += len(cells)
         return [self._materialize(*plan) for plan in plans]
+
+    def _plan_attack(self, cell: Cell, pending: dict) -> tuple:
+        locked = self.locked_circuit(cell)
+        lock_key = self._lock_key(cell)
+        attack_key = self._attack_key(self._digests[lock_key], cell.config)
+        if attack_key in self._attacks or attack_key in pending:
+            self.stats.attacks_reused += 1
+        elif self._load_attack(attack_key):
+            self.stats.attacks_loaded += 1
+        else:
+            pending[attack_key] = AttackJob(
+                store_key=attack_key,
+                circuit=encode_circuit(locked.circuit),
+                config=cell.config,
+            )
+            self.stats.attacks_computed += 1
+        return (cell, lock_key, attack_key)
+
+    def _plan_baseline(self, cell: BaselineCell, pending: dict) -> tuple:
+        locked = self.locked_circuit(cell)
+        lock_key = self._lock_key(cell)
+        train_locks = [
+            self._lock_instance(
+                cell.benchmark,
+                cell.circuit_scale,
+                cell.scheme,
+                cell.key_size,
+                lock_seed,
+            )
+            for lock_seed in cell.train_lock_seeds
+        ]
+        train_pairs = tuple(
+            (
+                self._digests[
+                    (
+                        cell.benchmark,
+                        cell.circuit_scale,
+                        cell.scheme,
+                        cell.key_size,
+                        int(lock_seed),
+                    )
+                ],
+                lk.key,
+            )
+            for lock_seed, lk in zip(cell.train_lock_seeds, train_locks)
+        )
+        baseline_key = baseline_store_key(
+            self._digests[lock_key], cell.config, train_pairs
+        )
+        if baseline_key in self._baselines or baseline_key in pending:
+            self.stats.baselines_reused += 1
+        elif self._load_baseline(baseline_key):
+            self.stats.baselines_loaded += 1
+        else:
+            pending[baseline_key] = BaselineJob(
+                store_key=baseline_key,
+                circuit=encode_circuit(locked.circuit),
+                config=cell.config,
+                train=tuple(
+                    encode_lock_artifact(lk) for lk in train_locks
+                ),
+            )
+            self.stats.baselines_computed += 1
+        return (cell, lock_key, baseline_key)
 
     def _load_attack(self, attack_key: str) -> bool:
         """Rematerialize one trained attack from the store, if present."""
@@ -457,6 +742,18 @@ class ExperimentRunner:
         if result is None:
             return False
         self._attacks[attack_key] = result
+        return True
+
+    def _load_baseline(self, baseline_key: str) -> bool:
+        """Rematerialize one baseline report from the store, if present."""
+        if self.store is None:
+            return False
+        report = self.store.get(
+            "baselines", baseline_key, decoder=decode_baseline_artifact
+        )
+        if report is None:
+            return False
+        self._baselines[baseline_key] = report
         return True
 
     def _execute(self, pending: dict[str, AttackJob]) -> None:
@@ -477,13 +774,46 @@ class ExperimentRunner:
             self._finish_job(job, payload, persisted=persisted)
 
     def _finish_job(
-        self, job: AttackJob, payload: dict, persisted: bool = False
+        self, job, payload: dict, persisted: bool = False
     ) -> None:
-        self._attacks[job.store_key] = decode_attack_artifact(payload)
+        if getattr(job, "kind", "attack") == "baseline":
+            self._baselines[job.store_key] = decode_baseline_artifact(payload)
+        else:
+            self._attacks[job.store_key] = decode_attack_artifact(payload)
         if self.store is not None and not persisted:
-            self.store.put("attacks", job.store_key, payload)
+            self.store.put(
+                getattr(job, "artifact_kind", "attacks"),
+                job.store_key,
+                payload,
+            )
 
-    def _materialize(
+    def _materialize(self, cell, lock_key: tuple, artifact_key: str) -> AttackRecord:
+        if isinstance(cell, BaselineCell):
+            return self._materialize_baseline(cell, lock_key, artifact_key)
+        return self._materialize_attack(cell, lock_key, artifact_key)
+
+    def _materialize_baseline(
+        self, cell: BaselineCell, lock_key: tuple, baseline_key: str
+    ) -> AttackRecord:
+        report = self._baselines[baseline_key]
+        locked = self._locks[lock_key]
+        metrics = score_key(report.predicted_key, locked.key)
+        return AttackRecord(
+            benchmark=cell.benchmark,
+            scheme=cell.scheme,
+            key_size=cell.key_size,
+            metrics=metrics,
+            runtime_seconds=report.runtime_seconds,
+            predicted_key=report.predicted_key,
+            extras={
+                "report": report,
+                "locked": locked,
+                "attack": cell.attack,
+                "copy": cell.copy,
+            },
+        )
+
+    def _materialize_attack(
         self, cell: Cell, lock_key: tuple, attack_key: str
     ) -> AttackRecord:
         result = self._attacks[attack_key]

@@ -41,12 +41,16 @@ from typing import Any, Iterator
 from repro.store import codec
 from repro.store.artifacts import (
     attack_store_key,
+    baseline_config_token,
+    baseline_store_key,
     circuit_digest,
     config_token,
     decode_attack_artifact,
+    decode_baseline_artifact,
     decode_circuit,
     decode_lock_artifact,
     encode_attack_artifact,
+    encode_baseline_artifact,
     encode_circuit,
     encode_lock_artifact,
     lock_store_key,
@@ -59,13 +63,17 @@ __all__ = [
     "StoreEntry",
     "StoreStats",
     "attack_store_key",
+    "baseline_config_token",
+    "baseline_store_key",
     "circuit_digest",
     "codec",
     "config_token",
     "decode_attack_artifact",
+    "decode_baseline_artifact",
     "decode_circuit",
     "decode_lock_artifact",
     "encode_attack_artifact",
+    "encode_baseline_artifact",
     "encode_circuit",
     "encode_lock_artifact",
     "lock_store_key",

@@ -16,6 +16,13 @@ Three artifact families exist:
   in).  Per-MUX likelihoods, the loss history, runtimes and the trained
   DGCNN weights are stored as float64/float32 arrays, so a rematerialized
   record is bit-identical to the in-memory one.
+* **baselines** — a :class:`~repro.attacks.baseline.BaselineReport`
+  from the oracle-less attack zoo (SAAM / SCOPE / SWEEP / random),
+  keyed by the locked netlist digest + a per-attack normalized config
+  token + (for the supervised SWEEP) the ordered training corpus.
+  Because the netlist digest is oracle-less, the training locks'
+  *keys* are folded into the address explicitly — a corpus with
+  different ground truth is a different trained attack.
 * **checkpoints** — :class:`~repro.linkpred.trainer.Trainer` state; the
   trainer builds/consumes that payload itself, through the same codec.
 
@@ -38,12 +45,16 @@ from repro.netlist.bench import write_bench
 
 __all__ = [
     "attack_store_key",
+    "baseline_config_token",
+    "baseline_store_key",
     "circuit_digest",
     "config_token",
     "decode_attack_artifact",
+    "decode_baseline_artifact",
     "decode_circuit",
     "decode_lock_artifact",
     "encode_attack_artifact",
+    "encode_baseline_artifact",
     "encode_circuit",
     "encode_lock_artifact",
     "lock_store_key",
@@ -161,6 +172,65 @@ def lock_store_key(
                 "scheme": scheme,
                 "key_size": int(key_size),
                 "lock_seed": int(lock_seed),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+    )
+
+
+def baseline_config_token(config) -> str:
+    """Canonical JSON of one baseline attack's result-affecting knobs.
+
+    Normalization is per attack: SAAM is knob-free; the random floor is
+    seeded only; SCOPE keys on its decision threshold; SWEEP on margin
+    and ridge.  ``undecided`` changes the report for SCOPE/SWEEP, and
+    the coin ``seed`` is folded in **only** when ``undecided="coin"`` —
+    under ``"x"`` the seed is inert, and keying on inert knobs would
+    split identical reports across addresses (same rule as the K-FAC
+    sub-token in :func:`config_token`).
+    """
+    attack = config.attack
+    knobs: dict[str, Any] = {}
+    if attack == "random":
+        knobs["seed"] = int(config.seed)
+    elif attack == "scope":
+        knobs["threshold"] = float(config.threshold)
+        knobs["undecided"] = config.undecided
+        if config.undecided == "coin":
+            knobs["seed"] = int(config.seed)
+    elif attack == "sweep":
+        knobs["margin"] = float(config.margin)
+        knobs["ridge"] = float(config.ridge)
+        knobs["undecided"] = config.undecided
+        if config.undecided == "coin":
+            knobs["seed"] = int(config.seed)
+    elif attack != "saam":
+        raise ValueError(f"unknown baseline attack {attack!r}")
+    return json.dumps(
+        {"v": ARTIFACT_VERSION, "attack": attack, **knobs},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def baseline_store_key(
+    digest: str, config, train: tuple[tuple[str, str], ...] = ()
+) -> str:
+    """Content address of one baseline attack report.
+
+    *digest* is :func:`circuit_digest` of the locked target; *train* is
+    the **ordered** SWEEP corpus as ``(lock_digest, key)`` pairs.  Order
+    is preserved (the normal-equation reduction is float-order
+    sensitive) and the keys appear explicitly because the oracle-less
+    circuit digest deliberately excludes them.
+    """
+    return _hexdigest(
+        json.dumps(
+            {
+                "target": digest,
+                "config": baseline_config_token(config),
+                "train": [[d, k] for d, k in train],
             },
             sort_keys=True,
             separators=(",", ":"),
@@ -367,4 +437,47 @@ def decode_attack_artifact(payload: dict):
         },
         graph=None,
         model=model,
+    )
+
+
+# ---------------------------------------------------------------------------
+# BaselineReport
+# ---------------------------------------------------------------------------
+def encode_baseline_artifact(report) -> dict:
+    """Serialize a :class:`~repro.attacks.baseline.BaselineReport`.
+
+    Per-bit scores travel as sorted parallel int64/float64 arrays —
+    bit-exact round trips, same discipline as the attack artifact.
+    """
+    import numpy as np
+
+    bits = sorted(report.scores)
+    return {
+        "version": ARTIFACT_VERSION,
+        "attack": report.attack,
+        "predicted_key": report.predicted_key,
+        "score_bits": np.array(bits, dtype=np.int64),
+        "score_values": np.array(
+            [report.scores[bit] for bit in bits], dtype=np.float64
+        ),
+        "n_blind": int(report.n_blind),
+        "runtime_seconds": float(report.runtime_seconds),
+    }
+
+
+def decode_baseline_artifact(payload: dict):
+    """Rebuild a :class:`~repro.attacks.baseline.BaselineReport`."""
+    from repro.attacks.baseline import BaselineReport
+
+    return BaselineReport(
+        attack=str(payload["attack"]),
+        predicted_key=str(payload["predicted_key"]),
+        scores={
+            int(bit): float(value)
+            for bit, value in zip(
+                payload["score_bits"], payload["score_values"]
+            )
+        },
+        n_blind=int(payload["n_blind"]),
+        runtime_seconds=float(payload["runtime_seconds"]),
     )

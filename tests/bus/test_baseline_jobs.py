@@ -1,0 +1,102 @@
+"""Baseline jobs are first-class bus citizens alongside MuxLink jobs."""
+
+import pytest
+
+from repro.attacks import BaselineConfig
+from repro.benchgen import random_netlist
+from repro.bus import (
+    JOB_ARTIFACT_KINDS,
+    BusError,
+    SpoolBus,
+    decode_job,
+    encode_job,
+    job_artifact_kind,
+)
+from repro.experiments.runner import (
+    BaselineJob,
+    execute_baseline_job,
+    execute_job,
+)
+from repro.locking import lock_dmux
+from repro.store import (
+    ArtifactStore,
+    decode_baseline_artifact,
+    encode_circuit,
+    encode_lock_artifact,
+)
+
+
+def _baseline_job(attack="scope", train=()):
+    locked = lock_dmux(
+        random_netlist("base", 8, 4, 80, seed=0), key_size=6, seed=1
+    )
+    return BaselineJob(
+        store_key="k" * 64,
+        circuit=encode_circuit(locked.circuit),
+        config=BaselineConfig(attack=attack, undecided="coin", seed=5),
+        train=tuple(encode_lock_artifact(t) for t in train),
+    )
+
+
+def test_kind_registry():
+    assert JOB_ARTIFACT_KINDS == {"attack": "attacks", "baseline": "baselines"}
+    assert job_artifact_kind("baseline") == "baselines"
+    with pytest.raises(BusError, match="unknown job kind"):
+        job_artifact_kind("mystery")
+
+
+def test_baseline_job_wire_round_trip():
+    job = _baseline_job()
+    payload = encode_job(job)
+    assert payload["kind"] == "baseline"
+    decoded = decode_job(payload)
+    assert isinstance(decoded, BaselineJob)
+    assert decoded.kind == "baseline"
+    assert decoded.artifact_kind == "baselines"
+    assert decoded.store_key == job.store_key
+    assert decoded.config == job.config
+    assert decoded.train == ()
+
+
+def test_baseline_job_wire_round_trip_with_train():
+    train = [
+        lock_dmux(random_netlist("base", 8, 4, 80, seed=s), key_size=6, seed=s)
+        for s in (2, 3)
+    ]
+    job = _baseline_job(attack="sweep", train=train)
+    decoded = decode_job(encode_job(job))
+    assert len(decoded.train) == 2
+    artifact = execute_job(decoded)
+    report = decode_baseline_artifact(artifact)
+    assert report.attack == "sweep"
+    assert len(report.predicted_key) == 6
+
+
+def test_decode_rejects_unknown_kind():
+    payload = encode_job(_baseline_job())
+    payload["kind"] = "mystery"
+    with pytest.raises(BusError, match="unknown job kind"):
+        decode_job(payload)
+
+
+def test_execute_job_dispatches_on_kind():
+    job = _baseline_job()
+    via_dispatch = decode_baseline_artifact(execute_job(job))
+    direct = decode_baseline_artifact(execute_baseline_job(job))
+    assert via_dispatch.predicted_key == direct.predicted_key
+    assert via_dispatch.scores == direct.scores
+
+
+def test_spool_bus_carries_baseline_jobs(tmp_path):
+    """A baseline job spooled to disk executes (here: drained inline by
+    adopting from a warmed store) under the 'baselines' artifact kind."""
+    store = ArtifactStore(tmp_path / "store")
+    job = _baseline_job()
+    store.put("baselines", job.store_key, execute_baseline_job(job))
+    bus = SpoolBus(tmp_path / "spool", store=store, poll=0.05)
+    results = list(bus.run([job]))
+    assert len(results) == 1
+    finished, payload, persisted = results[0]
+    assert finished is job
+    assert persisted is True
+    assert decode_baseline_artifact(payload).attack == "scope"

@@ -152,3 +152,58 @@ def test_warm_store_yields_zero_releases(tmp_path):
     assert warm.bus.spool.pending_keys() == []
     assert warm.bus.spool.leased_keys() == []
     warm.close()
+
+
+def _leaderboard_cli(extra_args: list[str]) -> str:
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "leaderboard",
+            "--scale",
+            "smoke",
+            "--ensemble",
+            *extra_args,
+        ],
+        capture_output=True,
+        text=True,
+        env=_ENV,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_leaderboard_bit_identical_across_spool_bus(tmp_path):
+    """PR 8 acceptance: a cold `repro leaderboard --store D` over the
+    spool bus with two workers is bit-identical to a serial in-memory
+    run, and a warm rerun in a fresh process performs zero lock, attack
+    or baseline jobs — the mixed MuxLink+baseline grid fans out and
+    adopts exactly like a MuxLink-only one."""
+    serial = _leaderboard_cli([])
+    reference = _tables(serial)
+    assert "MuxLink+SCOPE" in serial  # the ensemble rows materialized
+
+    spool_dir = str(tmp_path / "spool")
+    store = str(tmp_path / "store")
+    workers = [
+        _start_worker(["--bus-dir", spool_dir, "--store", store])
+        for _ in range(2)
+    ]
+    try:
+        spool = _leaderboard_cli(
+            ["--store", store, "--bus", "spool", "--bus-dir", spool_dir]
+        )
+    finally:
+        for worker in workers:
+            worker.terminate()
+            worker.wait(timeout=30)
+    assert _tables(spool) == reference
+    assert "bus[spool]" in spool
+
+    warm = _leaderboard_cli(["--store", store])
+    assert _tables(warm) == reference
+    assert "locks=0" in warm
+    assert "attacks=0" in warm
+    assert "baselines=0" in warm

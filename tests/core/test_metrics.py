@@ -89,3 +89,33 @@ def test_metric_bounds_property(predicted, data):
 def test_kpa_equals_accuracy_when_no_x():
     m = score_key("0101", "0111")
     assert m.kpa == m.accuracy
+
+
+def test_all_x_decision_rate_is_zero():
+    m = score_key("xxxx", "0101")
+    assert m.decision_rate == 0.0
+
+
+def test_empty_key_every_rate_is_nan():
+    """K=0 (no key inputs at all): every rate degenerates to NaN rather
+    than raising ZeroDivisionError."""
+    m = score_key("", "")
+    assert m.n_total == 0
+    assert math.isnan(m.accuracy)
+    assert math.isnan(m.precision)
+    assert math.isnan(m.kpa)
+    assert math.isnan(m.decision_rate)
+
+
+def test_empty_key_metrics_direct():
+    m = KeyMetrics(n_total=0, n_correct=0, n_wrong=0, n_x=0)
+    assert math.isnan(m.kpa)
+    assert math.isnan(m.decision_rate)
+
+
+def test_aggregate_single_run_is_identity():
+    single = score_key("01x10x", "001101")
+    pooled = aggregate_metrics([single])
+    assert pooled == single
+    assert pooled.kpa == single.kpa
+    assert pooled.decision_rate == single.decision_rate
