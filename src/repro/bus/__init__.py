@@ -14,8 +14,10 @@ from repro.bus.protocol import (
     BUS_DIR_ENV,
     BUS_ENV,
     BUS_JOB_KIND,
+    BUS_LIVENESS_ENV,
     BUS_MESSAGE_KIND,
     BUS_QUARANTINE_KIND,
+    DEFAULT_LIVENESS,
     DEFAULT_MAX_ATTEMPTS,
     DEFAULT_POLL,
     DEFAULT_STALE_AFTER,
@@ -25,6 +27,7 @@ from repro.bus.protocol import (
     BusStats,
     JobBus,
     QuarantinedJob,
+    RetryPolicy,
     decode_job,
     encode_job,
     job_artifact_kind,
@@ -41,12 +44,14 @@ __all__ = [
     "BUS_DIR_ENV",
     "BUS_ENV",
     "BUS_JOB_KIND",
+    "BUS_LIVENESS_ENV",
     "BUS_MESSAGE_KIND",
     "BUS_QUARANTINE_KIND",
     "JOB_ARTIFACT_KINDS",
     "BusError",
     "job_artifact_kind",
     "BusStats",
+    "DEFAULT_LIVENESS",
     "DEFAULT_MAX_ATTEMPTS",
     "DEFAULT_POLL",
     "DEFAULT_STALE_AFTER",
@@ -54,6 +59,7 @@ __all__ = [
     "JobBus",
     "LocalBus",
     "QuarantinedJob",
+    "RetryPolicy",
     "SocketBus",
     "SpoolBus",
     "SpoolDir",

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.errors import ReproError
+from repro.faults.retry import RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.experiments.runner import AttackJob
@@ -41,13 +42,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 __all__ = [
     "BLAS_THREADS_ENV",
     "BUS_JOB_KIND",
+    "BUS_LIVENESS_ENV",
     "BUS_MESSAGE_KIND",
     "BUS_QUARANTINE_KIND",
+    "DEFAULT_LIVENESS",
     "DEFAULT_WORKER_BLAS_THREADS",
     "JOB_ARTIFACT_KINDS",
     "BusError",
     "BusStats",
     "JobBus",
+    "RetryPolicy",
     "decode_job",
     "encode_job",
     "job_artifact_kind",
@@ -68,6 +72,7 @@ BUS_POLL_ENV = "REPRO_BUS_POLL"
 BUS_STALE_ENV = "REPRO_BUS_STALE"
 BUS_MAX_ATTEMPTS_ENV = "REPRO_BUS_MAX_ATTEMPTS"
 BUS_TIMEOUT_ENV = "REPRO_BUS_TIMEOUT"
+BUS_LIVENESS_ENV = "REPRO_BUS_LIVENESS"
 BLAS_THREADS_ENV = "REPRO_BLAS_THREADS"
 
 #: A lease with no heartbeat for this many seconds is presumed dead and
@@ -78,6 +83,12 @@ DEFAULT_STALE_AFTER = 30.0
 DEFAULT_MAX_ATTEMPTS = 3
 #: Coordinator / worker poll interval (seconds).
 DEFAULT_POLL = 0.25
+#: Graceful-degradation deadline: a distributed bus that makes no
+#: progress — no completions, no live leases, no executing connections —
+#: for this long fails its remaining jobs over to in-process execution
+#: instead of hanging a figure run on a dead worker fleet.  ``timeout``
+#: (raise) still wins when set tighter; 0/None disables fail-over.
+DEFAULT_LIVENESS = 300.0
 #: Workers cap their OpenBLAS pool at this many threads.  The attack
 #: jobs are single-core (pinning BLAS to 1 thread leaves serial runtime
 #: unchanged — measured in BENCH_training.json ``bench_bus``), while
@@ -104,6 +115,7 @@ class BusStats:
     adopted: int = 0
     requeues: int = 0
     quarantined: int = 0
+    failed_over: int = 0
     submit_seconds: float = 0.0
     adopt_seconds: float = 0.0
 
@@ -113,6 +125,10 @@ class BusStats:
             f"(+{self.adopted} adopted from store) "
             f"requeues={self.requeues} quarantined={self.quarantined}"
         )
+        if self.failed_over:
+            # Only when nonzero: clean-run summaries keep their exact
+            # shape for the transcript parity gates.
+            text += f" failed-over={self.failed_over}"
         if self.completed:
             overhead = (
                 (self.submit_seconds + self.adopt_seconds)
@@ -149,6 +165,30 @@ class JobBus:
 
     def close(self) -> None:  # pragma: no cover - trivial default
         """Release backend resources (idempotent)."""
+
+    def _failover(
+        self, jobs: "list[AttackJob]", reason: str, log=print
+    ) -> "Iterator[tuple[AttackJob, dict, bool]]":
+        """Graceful degradation: execute *jobs* in this process.
+
+        The distributed backends call this when their liveness deadline
+        expires with no sign of a worker fleet — the grid finishes on
+        the coordinator (slowly, serially) instead of hanging forever.
+        Yields the same ``(job, payload, persisted=False)`` tuples as a
+        live bus, so the runner's write-through path persists results
+        exactly as if a worker had returned them.
+        """
+        from repro.experiments.runner import execute_job
+
+        log(
+            f"bus[{self.name}]: {reason} — failing {len(jobs)} job(s) "
+            "over to in-process execution"
+        )
+        for job in jobs:
+            payload = execute_job(job)
+            self.stats.completed += 1
+            self.stats.failed_over += 1
+            yield job, payload, False
 
 
 # ---------------------------------------------------------------------------
@@ -240,6 +280,8 @@ def resolve_bus(
     stale_after: float | None = None,
     max_attempts: int | None = None,
     timeout: float | None = None,
+    liveness: float | None = None,
+    retry: "RetryPolicy | None" = None,
 ) -> "JobBus":
     """Build the configured bus backend.
 
@@ -250,6 +292,12 @@ def resolve_bus(
     artifact store (results travel through it); ``socket`` needs a bind
     address (*bus_addr* / ``REPRO_BUS_ADDR``, default an ephemeral
     localhost port).
+
+    *liveness* is the graceful-degradation deadline (seconds of total
+    silence before remaining jobs fail over to in-process execution;
+    ``REPRO_BUS_LIVENESS``, default :data:`DEFAULT_LIVENESS`, ``0``
+    disables).  *retry* carries the backoff/timeout policy the
+    distributed backends share (``REPRO_RETRY_*`` when unset).
     """
     if isinstance(bus, JobBus):
         return bus
@@ -260,12 +308,15 @@ def resolve_bus(
         if stale_after is None
         else stale_after
     )
+    retry = RetryPolicy.from_env() if retry is None else retry
     max_attempts = (
-        int(_env_float(BUS_MAX_ATTEMPTS_ENV, DEFAULT_MAX_ATTEMPTS))
+        int(_env_float(BUS_MAX_ATTEMPTS_ENV, retry.max_attempts))
         if max_attempts is None
         else max_attempts
     )
     timeout = _env_optional_float(BUS_TIMEOUT_ENV) if timeout is None else timeout
+    if liveness is None:
+        liveness = _env_float(BUS_LIVENESS_ENV, DEFAULT_LIVENESS)
     if name == "local":
         from repro.bus.local import LocalBus
 
@@ -287,7 +338,14 @@ def resolve_bus(
         spool = SpoolDir(
             bus_dir, stale_after=stale_after, max_attempts=max_attempts
         )
-        return SpoolBus(spool, store, poll=poll, timeout=timeout)
+        return SpoolBus(
+            spool,
+            store,
+            poll=poll,
+            timeout=timeout,
+            liveness=liveness,
+            retry=retry,
+        )
     if name == "socket":
         from repro.bus.socketbus import SocketBus
 
@@ -297,6 +355,8 @@ def resolve_bus(
             poll=poll,
             max_attempts=max_attempts,
             timeout=timeout,
+            liveness=liveness,
+            retry=retry,
         )
     raise BusError(
         f"unknown job bus {name!r}; choose from local, spool, socket"

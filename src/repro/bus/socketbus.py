@@ -46,10 +46,10 @@ from typing import TYPE_CHECKING, Iterator
 
 from repro.bus.protocol import (
     BUS_MESSAGE_KIND,
-    DEFAULT_MAX_ATTEMPTS,
     DEFAULT_POLL,
     BusError,
     JobBus,
+    RetryPolicy,
     encode_job,
 )
 from repro.store import codec
@@ -153,12 +153,22 @@ class _Connection:
 
 
 class _Server:
-    """Selector plumbing shared by :class:`SocketBus` and the spool broker."""
+    """Selector plumbing shared by :class:`SocketBus` and the spool broker.
 
-    def __init__(self, address: str) -> None:
+    *read_timeout* bounds every blocking operation on an accepted
+    connection (``sendall`` of a job frame to a wedged peer, a reply
+    read) — before it, one hung worker socket could block the
+    coordinator forever.  A timeout surfaces as ``OSError`` on the
+    operation, which the callers already treat as a dead connection.
+    """
+
+    def __init__(
+        self, address: str, read_timeout: float | None = None
+    ) -> None:
         host, port = parse_address(address)
         self._listener = socket.create_server((host, port), backlog=128)
         self._listener.setblocking(False)
+        self.read_timeout = read_timeout
         self.selector = selectors.DefaultSelector()
         self.selector.register(self._listener, selectors.EVENT_READ)
         self.connections: dict[socket.socket, _Connection] = {}
@@ -175,7 +185,9 @@ class _Server:
                     conn_sock, _ = self._listener.accept()
                 except OSError:  # pragma: no cover - racing close
                     continue
-                conn_sock.setblocking(True)
+                # settimeout(None) == setblocking(True); a finite value
+                # keeps blocking semantics but bounds each operation.
+                conn_sock.settimeout(self.read_timeout)
                 connection = _Connection(conn_sock)
                 self.connections[conn_sock] = connection
                 self.selector.register(conn_sock, selectors.EVENT_READ)
@@ -215,15 +227,23 @@ class SocketBus(JobBus):
         self,
         address: str = "127.0.0.1:0",
         poll: float = DEFAULT_POLL,
-        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        max_attempts: int | None = None,
         timeout: float | None = None,
+        liveness: float | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         super().__init__()
-        self._server = _Server(address)
+        self.retry = retry if retry is not None else RetryPolicy.from_env()
+        self._server = _Server(
+            address, read_timeout=self.retry.read_timeout
+        )
         self.address = self._server.address
         self.poll = float(poll)
-        self.max_attempts = int(max_attempts)
+        self.max_attempts = int(
+            self.retry.max_attempts if max_attempts is None else max_attempts
+        )
         self.timeout = timeout
+        self.liveness = float(liveness) if liveness else None
 
     def run(
         self, jobs: "list[AttackJob]"
@@ -244,7 +264,6 @@ class SocketBus(JobBus):
                     self._requeue(connection, queue, waiting)
                     self._server.drop(connection)
                     continue
-                last_progress = time.monotonic()
                 for message in messages:
                     op = message.get("op")
                     if op == "lease":
@@ -281,11 +300,21 @@ class SocketBus(JobBus):
                             attempt,
                         )
             self.stats.adopt_seconds += time.perf_counter() - t0
-            if (
-                waiting
-                and self.timeout is not None
-                and time.monotonic() - last_progress > self.timeout
-            ):
+            if not waiting:
+                break
+            # A connection mid-job counts as progress: a legitimately
+            # long training run produces no frames while it computes,
+            # and must trip neither the timeout nor the fail-over.
+            busy = any(
+                c.executing is not None
+                for c in self._server.connections.values()
+            )
+            now = time.monotonic()
+            if events or busy:
+                last_progress = now
+                continue
+            quiet = now - last_progress
+            if self.timeout is not None and quiet > self.timeout:
                 raise BusError(
                     f"socket bus made no progress for {self.timeout:.0f}s — "
                     f"{len(waiting)} job(s) outstanding, "
@@ -293,6 +322,18 @@ class SocketBus(JobBus):
                     f"point workers at `repro worker --bus-addr "
                     f"{self.address}`"
                 )
+            if self.liveness is not None and quiet > self.liveness:
+                # Graceful degradation: every worker is gone (dead
+                # connections requeued their jobs, none are executing).
+                # Finish the grid in-process instead of hanging.
+                remaining = list(waiting.values())
+                queue.clear()
+                waiting.clear()
+                yield from self._failover(
+                    remaining,
+                    f"no worker progress for {self.liveness:.0f}s",
+                )
+                return
 
     def _dispatch(
         self,
@@ -365,6 +406,7 @@ def serve_spool(
     poll: float = DEFAULT_POLL,
     idle_timeout: float | None = None,
     max_jobs: int | None = None,
+    retry: RetryPolicy | None = None,
     log=print,
 ) -> dict:
     """``repro serve-bus``: bridge a spool directory to TCP workers.
@@ -378,7 +420,8 @@ def serve_spool(
     executing and no connections (``None`` = forever), or *max_jobs*
     results have been written.
     """
-    server = _Server(address)
+    retry = retry if retry is not None else RetryPolicy.from_env()
+    server = _Server(address, read_timeout=retry.read_timeout)
     log(f"serve-bus: {server.address} over spool {spool.root}")
     stats = {"served": 0, "completed": 0, "failed": 0, "requeued": 0}
     last_activity = time.monotonic()

@@ -33,6 +33,7 @@ import uuid
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
+from repro import faults
 from repro.bus.protocol import (
     BUS_JOB_KIND,
     BUS_QUARANTINE_KIND,
@@ -42,6 +43,7 @@ from repro.bus.protocol import (
     BusError,
     JobBus,
     QuarantinedJob,
+    RetryPolicy,
     encode_job,
 )
 from repro.store import codec
@@ -138,6 +140,8 @@ class SpoolDir:
         """
         self.leased_dir.mkdir(parents=True, exist_ok=True)
         for path in sorted(self.pending_dir.glob("*.npz")):
+            if faults.fire("spool.lease_race"):
+                continue  # injected: lose the rename race on this one
             target = self.leased_dir / path.name
             try:
                 os.rename(path, target)
@@ -189,8 +193,28 @@ class SpoolDir:
         """Return a held lease to pending (e.g. a proxied worker vanished)."""
         return self.fail(key, reason)
 
+    def withdraw(self, key: str) -> bool:
+        """Remove a pending job (the coordinator is taking it back)."""
+        self._check_key(key)
+        try:
+            (self.pending_dir / f"{key}.npz").unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
     def reap_stale(self) -> int:
-        """Requeue every lease whose heartbeat went stale; returns count."""
+        """Requeue every lease whose heartbeat went stale; returns count.
+
+        Rename-winner semantics, mirroring :meth:`lease`: two peers
+        reaping the same expired lease concurrently bump the attempt
+        counter exactly once.  The subtlety is that winning the claim
+        rename does **not** prove the lease was still stale — between
+        this reaper's staleness check and its rename, a peer may have
+        already reaped the lease, a worker re-leased the requeued copy,
+        and the freshly stamped lease landed back at the same path.  The
+        claim rename preserves mtime, so the winner re-checks on the
+        claimed file and hands a fresh lease straight back untouched.
+        """
         cutoff = time.time() - self.stale_after
         reaped = 0
         for path in list(self.leased_dir.glob("*.npz")):
@@ -201,11 +225,46 @@ class SpoolDir:
                 continue  # completed or claimed under us
             claimed = self._claim(path)
             if claimed is None:
+                continue  # a peer reaper won this lease
+            try:
+                fresh = claimed.stat().st_mtime >= cutoff
+            except OSError:  # pragma: no cover - racing orphan sweep
                 continue
+            if fresh:
+                # Not stale after all (reaped + re-leased under us):
+                # return it to the worker that owns it now.
+                try:
+                    os.rename(claimed, path)
+                    continue
+                except OSError:  # pragma: no cover - catastrophic fs
+                    pass  # fall through: requeue rather than lose the job
+            else:
+                try:
+                    # Stamp ownership of the claim: the orphan sweep
+                    # below must not double-process a claim whose reaper
+                    # is alive and mid-requeue.
+                    os.utime(claimed)
+                except OSError:
+                    continue  # orphan-swept under us; that peer owns it
             self._requeue(
                 claimed,
                 f"lease expired (no heartbeat for > {self.stale_after:.0f}s; "
                 "worker presumed dead)",
+            )
+            reaped += 1
+        # Orphaned claims: a reaper that crashed between claiming and
+        # requeueing would otherwise strand the job forever.  A live
+        # claimer stamps its claim above, so only claims idle for a full
+        # stale_after are adopted.
+        for claim in list(self.leased_dir.glob("*.claim")):
+            try:
+                if claim.stat().st_mtime >= cutoff:
+                    continue
+            except OSError:
+                continue
+            self._requeue(
+                claim,
+                "reap claim orphaned (claiming peer presumed dead)",
             )
             reaped += 1
         return reaped
@@ -293,6 +352,8 @@ class SpoolBus(JobBus):
         store: "ArtifactStore | str | os.PathLike",
         poll: float = DEFAULT_POLL,
         timeout: float | None = None,
+        liveness: float | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         super().__init__()
         from repro.store import resolve_store
@@ -303,6 +364,9 @@ class SpoolBus(JobBus):
             raise BusError("spool bus needs a shared artifact store")
         self.poll = float(poll)
         self.timeout = timeout
+        # Graceful-degradation deadline: None/0 disables fail-over.
+        self.liveness = float(liveness) if liveness else None
+        self.retry = retry if retry is not None else RetryPolicy.from_env()
 
     def run(
         self, jobs: "list[AttackJob]"
@@ -310,7 +374,14 @@ class SpoolBus(JobBus):
         t0 = time.perf_counter()
         waiting: dict[str, AttackJob] = {}
         for job in jobs:
-            self.spool.enqueue(job.store_key, encode_job(job))
+            # Transient spool-write failures (ENOSPC, flaky mount) are
+            # retried on the shared backoff schedule; enqueue itself is
+            # atomic (tmp + rename), so a failed attempt leaves nothing.
+            self.retry.call(
+                lambda j=job: self.spool.enqueue(j.store_key, encode_job(j)),
+                retry_on=(OSError,),
+                describe="spool enqueue",
+            )
             waiting[job.store_key] = job
             self.stats.submitted += 1
         self.stats.submit_seconds += time.perf_counter() - t0
@@ -353,11 +424,27 @@ class SpoolBus(JobBus):
             now = time.monotonic()
             if progressed or self.spool.leased_keys():
                 last_progress = now  # a live lease counts as progress
-            elif self.timeout is not None and now - last_progress > self.timeout:
-                raise BusError(
-                    f"spool bus made no progress for {self.timeout:.0f}s — "
-                    f"{len(waiting)} job(s) still pending and no live "
-                    f"leases; are any `repro worker --bus-dir "
-                    f"{self.spool.root}` processes running?"
-                )
+            else:
+                quiet = now - last_progress
+                if self.timeout is not None and quiet > self.timeout:
+                    raise BusError(
+                        f"spool bus made no progress for {self.timeout:.0f}s "
+                        f"— {len(waiting)} job(s) still pending and no live "
+                        f"leases; are any `repro worker --bus-dir "
+                        f"{self.spool.root}` processes running?"
+                    )
+                if self.liveness is not None and quiet > self.liveness:
+                    # Graceful degradation: the worker fleet is dead or
+                    # was never started.  Take the jobs back from the
+                    # spool and finish the grid in this process — a
+                    # figure run must never hang on a silent bus.
+                    remaining = list(waiting.values())
+                    for key in waiting:
+                        self.spool.withdraw(key)
+                    waiting.clear()
+                    yield from self._failover(
+                        remaining,
+                        f"no worker progress for {self.liveness:.0f}s",
+                    )
+                    return
             time.sleep(self.poll)

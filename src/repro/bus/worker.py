@@ -33,12 +33,14 @@ import traceback
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro import faults
 from repro.bus.protocol import (
     BLAS_THREADS_ENV,
     DEFAULT_POLL,
     DEFAULT_STALE_AFTER,
     DEFAULT_WORKER_BLAS_THREADS,
     BusError,
+    RetryPolicy,
     decode_job,
 )
 from repro.bus.spool import SpoolDir
@@ -76,6 +78,22 @@ def _test_delay() -> None:
         time.sleep(float(raw))
 
 
+def _mid_job_faults() -> None:
+    """The worker-side fault sites, consulted once per accepted job.
+
+    ``worker.slow_factor`` stalls before execution (long enough for a
+    lease to outlive a short ``stale_after`` in a drill);
+    ``worker.crash_after_n`` emulates SIGKILL — ``os._exit`` skips every
+    ``finally`` and atexit handler, exactly like the real signal, so the
+    lease/connection is left dangling for peers to recover.
+    """
+    stall = faults.fire("worker.slow_factor")
+    if stall is not None:
+        time.sleep(stall.param)
+    if faults.fire("worker.crash_after_n"):
+        os._exit(137)
+
+
 class _Heartbeat:
     """Daemon thread refreshing one spool lease while a job executes."""
 
@@ -96,6 +114,8 @@ class _Heartbeat:
 
     def _beat(self) -> None:
         while not self._stop.wait(self._interval):
+            if faults.fire("spool.heartbeat_stall"):
+                return  # injected: the heartbeat dies, the job lives on
             if not self._spool.heartbeat(self._key):
                 return  # reaped out from under us; stop touching it
 
@@ -110,6 +130,7 @@ def run_worker(
     idle_timeout: float | None = None,
     max_jobs: int | None = None,
     blas_threads: int | None = None,
+    retry: RetryPolicy | None = None,
     log=print,
 ) -> WorkerStats:
     """Run the worker loop until idle for *idle_timeout* seconds.
@@ -124,6 +145,9 @@ def run_worker(
     jobs are single-core, and a fleet of workers each waking a
     cores-wide BLAS spin pool oversubscribes the host and doubles
     per-job wall-clock.
+
+    *retry* is the socket-mode connect/read policy (timeouts + the
+    reconnect backoff schedule); default :meth:`RetryPolicy.from_env`.
     """
     if (bus_dir is None) == (bus_addr is None):
         raise BusError("worker needs exactly one of bus_dir or bus_addr")
@@ -131,6 +155,8 @@ def run_worker(
         raw = os.environ.get(BLAS_THREADS_ENV, "").strip()
         blas_threads = int(raw) if raw else DEFAULT_WORKER_BLAS_THREADS
     limit_blas_threads(blas_threads)
+    if retry is None:
+        retry = RetryPolicy.from_env()
     if bus_dir is not None:
         return _run_spool_worker(
             bus_dir,
@@ -147,6 +173,7 @@ def run_worker(
         poll=poll,
         idle_timeout=idle_timeout,
         max_jobs=max_jobs,
+        retry=retry,
         log=log,
     )
 
@@ -233,6 +260,7 @@ def _execute_leased(
         job = decode_job(payload["job"])
         with _Heartbeat(spool, key, heartbeat_every):
             _test_delay()
+            _mid_job_faults()
             artifact = execute_job(job)
         store.put(artifact_kind, key, artifact)
         spool.complete(key)
@@ -257,8 +285,11 @@ def _run_socket_worker(
     poll: float,
     idle_timeout: float | None,
     max_jobs: int | None,
+    retry: RetryPolicy,
     log,
 ) -> WorkerStats:
+    import errno
+
     from repro.bus.socketbus import parse_address, recv_message, send_message
     from repro.experiments.runner import execute_job
 
@@ -266,7 +297,7 @@ def _run_socket_worker(
     stats = WorkerStats()
     idle_since = time.monotonic()
     conn: socket.socket | None = None
-    backoff = poll
+    connect_attempt = 0
     log(f"worker[{os.getpid()}]: socket bus {host}:{port}")
     try:
         while True:
@@ -277,17 +308,30 @@ def _run_socket_worker(
                 break
             if conn is None:
                 try:
-                    conn = socket.create_connection((host, port), timeout=30.0)
-                    conn.settimeout(None)
-                    backoff = poll
+                    if faults.fire("socket.connect_refused"):
+                        raise OSError(
+                            errno.ECONNREFUSED,
+                            "injected fault socket.connect_refused",
+                        )
+                    conn = socket.create_connection(
+                        (host, port), timeout=retry.connect_timeout
+                    )
+                    conn.settimeout(retry.read_timeout)
+                    connect_attempt = 0
                 except OSError:
                     # Coordinator not up yet (workers may legally start
-                    # first) — retry with a gentle backoff.
-                    time.sleep(backoff)
-                    backoff = min(backoff * 2.0, 2.0)
+                    # first) — retry on the policy backoff schedule,
+                    # floored at the poll interval so a zero-delay
+                    # policy cannot busy-spin on a closed port.
+                    connect_attempt += 1
+                    time.sleep(max(retry.delay(connect_attempt), poll))
                     continue
             try:
                 send_message(conn, {"op": "lease"})
+                if faults.fire("socket.read_timeout"):
+                    raise socket.timeout(
+                        "injected fault socket.read_timeout"
+                    )
                 message = recv_message(conn)
             except OSError:
                 message = None
@@ -306,9 +350,19 @@ def _run_socket_worker(
                 continue
             idle_since = time.monotonic()
             key = str(message["key"])
+            if faults.fire("socket.frame_eof"):
+                # Drop the connection mid-frame: the server sees EOF on
+                # a connection with an executing job and requeues it.
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+                conn = None
+                continue
             try:
                 job = decode_job(message["job"])
                 _test_delay()
+                _mid_job_faults()
                 artifact = execute_job(job)
             except Exception:
                 stats.failed += 1

@@ -192,6 +192,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         bus=args.bus,
         bus_dir=args.bus_dir,
         bus_addr=args.bus_addr,
+        liveness=args.liveness,
     ) as runner:
         if runner.store is not None:
             print(f"store={runner.store.root}")
@@ -274,6 +275,34 @@ def _cmd_serve_bus(args: argparse.Namespace) -> int:
         f"failed={stats['failed']} requeued={stats['requeued']}"
     )
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    # Lazy import: repro.faults.chaos drives repro.experiments, which the
+    # faults package itself must never pull in at import time.
+    from repro.experiments import active_scale, scale_by_name
+    from repro.faults.chaos import run_chaos
+
+    scale = scale_by_name(args.scale) if args.scale else active_scale()
+    try:
+        outcomes = run_chaos(
+            args.plan, scale=scale, seed=args.seed, keep=args.keep
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print()
+    failed = [o for o in outcomes if not o.ok]
+    injected = sum(o.total_injected for o in outcomes)
+    recovered = sum(
+        o.requeues + o.failed_over + o.write_retries + o.store_discards
+        for o in outcomes
+    )
+    print(
+        f"chaos: {len(outcomes) - len(failed)}/{len(outcomes)} drill(s) "
+        f"passed, {injected} fault(s) injected, {recovered} recover(y/ies)"
+    )
+    return 1 if failed else 0
 
 
 def _cache_store(args: argparse.Namespace):
@@ -493,6 +522,7 @@ def _cmd_leaderboard(args: argparse.Namespace) -> int:
         bus=args.bus,
         bus_dir=args.bus_dir,
         bus_addr=args.bus_addr,
+        liveness=args.liveness,
     ) as runner:
         if runner.store is not None:
             print(f"store={runner.store.root}")
@@ -749,6 +779,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="bind address for --bus socket, host:port (default: "
         "REPRO_BUS_ADDR or an ephemeral localhost port)",
     )
+    p.add_argument(
+        "--liveness",
+        type=float,
+        default=None,
+        help="seconds of distributed-bus silence before pending jobs "
+        "fail over to in-process execution (default: REPRO_BUS_LIVENESS "
+        "or 300; 0 disables fail-over)",
+    )
     p.set_defaults(func=_cmd_figures)
 
     p = sub.add_parser(
@@ -810,6 +848,34 @@ def build_parser() -> argparse.ArgumentParser:
         "REPRO_BLAS_THREADS overrides; 0 leaves BLAS alone)",
     )
     p.set_defaults(func=_cmd_worker)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injection drills: run the smoke grid under a named "
+        "fault plan and assert bit-parity with a clean serial run",
+    )
+    p.add_argument(
+        "--plan",
+        action="append",
+        required=True,
+        metavar="NAME",
+        help="named fault plan to drill (repeatable): worker-crash, "
+        "socket-flaky, torn-store, enospc, heartbeat-stall, lease-race, "
+        "all-workers-die",
+    )
+    p.add_argument(
+        "--scale",
+        choices=("smoke", "ci", "paper"),
+        default=None,
+        help="experiment preset (default: REPRO_EXPERIMENT_SCALE or ci)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--keep",
+        action="store_true",
+        help="keep each drill's spool/store work directory for autopsy",
+    )
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser(
         "serve-bus",
@@ -1018,6 +1084,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="bind address for --bus socket, host:port (default: "
         "REPRO_BUS_ADDR or an ephemeral localhost port)",
+    )
+    p.add_argument(
+        "--liveness",
+        type=float,
+        default=None,
+        help="seconds of distributed-bus silence before pending jobs "
+        "fail over to in-process execution (default: REPRO_BUS_LIVENESS "
+        "or 300; 0 disables fail-over)",
     )
     p.set_defaults(func=_cmd_leaderboard)
 

@@ -517,6 +517,7 @@ class ExperimentRunner:
         bus: JobBus | str | None = None,
         bus_dir: str | os.PathLike | None = None,
         bus_addr: str | None = None,
+        liveness: float | None = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.store = resolve_store(store)
@@ -526,6 +527,7 @@ class ExperimentRunner:
             store=self.store,
             bus_dir=bus_dir,
             bus_addr=bus_addr,
+            liveness=liveness,
         )
         self.stats = RunnerStats()
         self._bases: dict[tuple[str, float], Circuit] = {}

@@ -1,0 +1,420 @@
+"""`repro chaos` — run the smoke grid under a named fault plan.
+
+A *drill* is one end-to-end proof of the robustness contract: arm a
+:class:`~repro.faults.FaultPlan`, run the Fig. 7 smoke grid through the
+real topology the plan targets (worker subprocesses over a spool, a TCP
+worker against a :class:`~repro.bus.SocketBus`, or the in-process store
+path), and assert that the resulting records and rendered table are
+**bit-identical** to a clean serial run.  Faults that were injected but
+recovered from must be invisible in the science; only the recovery
+counters (requeues, fail-overs, write retries) may differ.
+
+This module is imported lazily by the CLI — it drives
+:mod:`repro.experiments`, which :mod:`repro.faults` itself must never
+import at module scope (the store depends on the faults package).
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.faults.plan import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    named_fault_plan,
+)
+
+__all__ = ["DRILL_TOPOLOGY", "DrillOutcome", "run_chaos"]
+
+#: Which execution topology exercises each named plan.  ``spool`` and
+#: ``socket`` drills run real worker subprocesses (the plan travels via
+#: ``REPRO_FAULT_PLAN``); ``local`` drills arm the plan in-process and
+#: exercise the store write/read path.
+DRILL_TOPOLOGY: dict[str, str] = {
+    "worker-crash": "spool",
+    "heartbeat-stall": "spool",
+    "lease-race": "spool",
+    "all-workers-die": "spool",
+    "socket-flaky": "socket",
+    "torn-store": "local",
+    "enospc": "local",
+}
+
+#: Lease heartbeat deadline for drill spools — short, so reaping a
+#: killed worker does not dominate drill wall-clock.
+_DRILL_STALE = 1.5
+#: Fail-over deadline for the all-workers-die drill (must exceed
+#: ``_DRILL_STALE`` so the corpse leases are reaped first).
+_DRILL_LIVENESS = 4.0
+
+_FIRED_LINE = re.compile(r"fault\[([a-z_.]+)\]: fired")
+
+
+@dataclass
+class DrillOutcome:
+    """One drill's verdict: parity, injections, and recovery counters."""
+
+    plan: str
+    topology: str
+    fingerprints_match: bool = False
+    tables_match: bool = False
+    injected: dict[str, int] = field(default_factory=dict)
+    requeues: int = 0
+    failed_over: int = 0
+    write_retries: int = 0
+    store_discards: int = 0
+    seconds: float = 0.0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        parts = [
+            f"chaos[{self.plan}]: {verdict} ({self.topology}, "
+            f"{self.total_injected} injected, {self.seconds:.1f}s)"
+        ]
+        recovered = []
+        if self.requeues:
+            recovered.append(f"requeues={self.requeues}")
+        if self.failed_over:
+            recovered.append(f"failed-over={self.failed_over}")
+        if self.write_retries:
+            recovered.append(f"write-retries={self.write_retries}")
+        if self.store_discards:
+            recovered.append(f"store-discards={self.store_discards}")
+        if recovered:
+            parts.append(" ".join(recovered))
+        for failure in self.failures:
+            parts.append(f"!! {failure}")
+        return "\n".join(parts)
+
+
+def _mask_runtime(table: str) -> str:
+    """Blank the wall-clock column — the one legitimately varying field."""
+    return "\n".join(
+        re.sub(r"\d+\.\d$", "<sec>", line) for line in table.splitlines()
+    )
+
+
+def _src_root() -> str:
+    import repro
+
+    return str(Path(repro.__file__).resolve().parents[1])
+
+
+def _worker_env(plan: FaultPlan | None) -> dict:
+    env = {
+        "PATH": "/usr/bin:/bin",
+        "PYTHONPATH": _src_root(),
+        "PYTHONHASHSEED": "0",
+    }
+    if plan is not None:
+        env[FAULT_PLAN_ENV] = plan.dumps()
+    return env
+
+
+def _spawn_spool_worker(
+    spool_root, store_root, plan: FaultPlan | None
+) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "worker",
+            "--bus-dir", str(spool_root),
+            "--store", str(store_root),
+            "--poll", "0.1",
+            "--stale-after", str(_DRILL_STALE),
+            "--idle-timeout", "60",
+        ],
+        env=_worker_env(plan),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def _spawn_socket_worker(address: str, plan: FaultPlan | None) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "worker",
+            "--bus-addr", address,
+            "--poll", "0.1",
+            "--idle-timeout", "60",
+        ],
+        env=_worker_env(plan),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def _reap_worker(proc: subprocess.Popen) -> str:
+    """Terminate a drill worker and return its captured output."""
+    if proc.poll() is None:
+        proc.terminate()
+    try:
+        output, _ = proc.communicate(timeout=30)
+    except subprocess.TimeoutExpired:  # pragma: no cover - wedged worker
+        proc.kill()
+        output, _ = proc.communicate()
+    return output or ""
+
+
+def _count_fired(outputs: "list[str]", counts: dict) -> None:
+    for output in outputs:
+        for match in _FIRED_LINE.finditer(output):
+            counts[match.group(1)] = counts.get(match.group(1), 0) + 1
+
+
+class _Reference:
+    """The clean serial run every drill is compared against."""
+
+    def __init__(self, scale, seed: int) -> None:
+        from repro.experiments import fig7_cells, format_fig7
+        from repro.experiments.runner import ExperimentRunner, record_fingerprint
+
+        self.cells = fig7_cells(scale, seed)
+        with ExperimentRunner(jobs=0) as runner:
+            records = runner.run(self.cells)
+        self.fingerprints = [record_fingerprint(r) for r in records]
+        self.table = _mask_runtime(format_fig7(records))
+
+
+def _check_parity(outcome: DrillOutcome, reference: _Reference, records) -> None:
+    from repro.experiments import format_fig7
+    from repro.experiments.runner import record_fingerprint
+
+    outcome.fingerprints_match = (
+        [record_fingerprint(r) for r in records] == reference.fingerprints
+    )
+    outcome.tables_match = (
+        _mask_runtime(format_fig7(records)) == reference.table
+    )
+    if not outcome.fingerprints_match:
+        outcome.failures.append(
+            "record fingerprints diverged from the clean serial run"
+        )
+    if not outcome.tables_match:
+        outcome.failures.append("figure table diverged from the clean serial run")
+
+
+def _require(outcome: DrillOutcome, condition: bool, what: str) -> None:
+    if not condition:
+        outcome.failures.append(what)
+
+
+def _drill_spool(
+    plan: FaultPlan, reference: _Reference, outcome: DrillOutcome, workdir: Path
+) -> None:
+    from repro.bus import SpoolBus, SpoolDir
+    from repro.experiments.runner import ExperimentRunner
+    from repro.store import ArtifactStore
+
+    all_die = plan.name == "all-workers-die"
+    shared = plan.name == "lease-race"  # every worker runs under the plan
+    store = ArtifactStore(workdir / "store")
+    spool = SpoolDir(workdir / "spool", stale_after=_DRILL_STALE)
+    bus = SpoolBus(
+        spool,
+        store,
+        poll=0.1,
+        timeout=240,
+        liveness=_DRILL_LIVENESS if all_die else None,
+    )
+    victims = [_spawn_spool_worker(spool.root, store.root, plan)]
+    if all_die:
+        victims.append(_spawn_spool_worker(spool.root, store.root, plan))
+    helpers: list[subprocess.Popen] = []
+    stop = threading.Event()
+
+    def _spawn_helper_on_first_lease() -> None:
+        # The victim must win a lease before a healthy peer enters the
+        # race, or a 2-job smoke grid can finish without ever touching
+        # the armed worker.  A crashed victim leaves its lease behind,
+        # so "leased/ is non-empty" covers both the stall and the crash.
+        while not stop.is_set():
+            if spool.leased_keys():
+                helpers.append(
+                    _spawn_spool_worker(spool.root, store.root, None)
+                )
+                return
+            time.sleep(0.05)
+
+    watcher = None
+    if not all_die and not shared:
+        watcher = threading.Thread(
+            target=_spawn_helper_on_first_lease, daemon=True
+        )
+        watcher.start()
+    elif shared:
+        helpers.append(_spawn_spool_worker(spool.root, store.root, plan))
+
+    runner = ExperimentRunner(jobs=0, store=store, bus=bus)
+    try:
+        records = runner.run(reference.cells)
+    finally:
+        stop.set()
+        if watcher is not None:
+            watcher.join(timeout=10)
+        outputs = [_reap_worker(p) for p in victims + helpers]
+        runner.close()
+    _count_fired(outputs, outcome.injected)
+    outcome.requeues = bus.stats.requeues
+    outcome.failed_over = bus.stats.failed_over
+    outcome.write_retries = store.stats.write_retries
+    outcome.store_discards = store.stats.errors
+    _check_parity(outcome, reference, records)
+    if all_die:
+        _require(
+            outcome,
+            outcome.failed_over >= 1,
+            "coordinator never failed over despite a dead worker fleet",
+        )
+    elif plan.name in ("worker-crash", "heartbeat-stall"):
+        _require(
+            outcome,
+            outcome.requeues >= 1,
+            "no lease was ever reaped — the fault did not bite",
+        )
+
+
+def _drill_socket(
+    plan: FaultPlan, reference: _Reference, outcome: DrillOutcome, workdir: Path
+) -> None:
+    from repro.bus import SocketBus
+    from repro.experiments.runner import ExperimentRunner
+
+    bus = SocketBus(poll=0.1, timeout=240)
+    worker = _spawn_socket_worker(bus.address, plan)
+    runner = ExperimentRunner(jobs=0, store=workdir / "store", bus=bus)
+    try:
+        records = runner.run(reference.cells)
+    finally:
+        outputs = [_reap_worker(worker)]
+        runner.close()
+    _count_fired(outputs, outcome.injected)
+    outcome.requeues = bus.stats.requeues
+    outcome.failed_over = bus.stats.failed_over
+    _check_parity(outcome, reference, records)
+    _require(
+        outcome,
+        outcome.requeues >= 1,
+        "no job was requeued — the dropped frame never happened",
+    )
+
+
+def _drill_local(
+    plan: FaultPlan, reference: _Reference, outcome: DrillOutcome, workdir: Path
+) -> None:
+    from repro import faults
+    from repro.experiments.runner import ExperimentRunner
+    from repro.store import ArtifactStore
+
+    store = ArtifactStore(workdir / "store")
+    faults.activate(plan)
+    try:
+        # Cold pass: the armed writes (torn file / ENOSPC) hit here and
+        # must be absorbed by the store's RetryPolicy.
+        with ExperimentRunner(jobs=0, store=store) as runner:
+            records = runner.run(reference.cells)
+        _check_parity(outcome, reference, records)
+        if any(site.site == "store.read_corrupt" for site in plan.sites):
+            # Warm pass from a fresh runner: the armed read fires on the
+            # first successful decode, is discarded as a miss, and the
+            # recompute heals the entry in place.
+            with ExperimentRunner(jobs=0, store=store) as warm_runner:
+                warm = warm_runner.run(reference.cells)
+            warm_outcome = DrillOutcome(plan=plan.name, topology="local")
+            _check_parity(warm_outcome, reference, warm)
+            outcome.failures.extend(
+                f"warm pass: {f}" for f in warm_outcome.failures
+            )
+            outcome.store_discards += warm_runner.store.stats.errors
+        for site, count in faults.fired_counts().items():
+            outcome.injected[site] = outcome.injected.get(site, 0) + count
+    finally:
+        faults.deactivate()
+    outcome.write_retries = store.stats.write_retries
+    outcome.store_discards += store.stats.errors
+    _require(
+        outcome,
+        outcome.write_retries >= 1,
+        "no write was ever retried — the fault did not bite",
+    )
+    corrupt = store.verify()
+    _require(
+        outcome,
+        not corrupt,
+        f"cache verify flagged {len(corrupt)} entr(y/ies) after healing",
+    )
+
+
+_DRILL_RUNNERS = {
+    "spool": _drill_spool,
+    "socket": _drill_socket,
+    "local": _drill_local,
+}
+
+
+def run_chaos(
+    plans: "list[str]",
+    scale=None,
+    seed: int = 0,
+    keep: bool = False,
+    log=print,
+) -> "list[DrillOutcome]":
+    """Run one drill per named plan; return their outcomes.
+
+    Every drill compares against one shared clean serial run of the
+    Fig. 7 grid at *scale* (default: the active experiment scale, i.e.
+    smoke unless ``REPRO_SCALE`` says otherwise).  Work directories are
+    deleted unless *keep*.
+    """
+    from repro.experiments.common import active_scale
+
+    scale = scale or active_scale()
+    for name in plans:
+        if name not in DRILL_TOPOLOGY:
+            raise ValueError(
+                f"unknown chaos plan {name!r}; known: "
+                + ", ".join(sorted(DRILL_TOPOLOGY))
+            )
+    log(f"chaos: clean reference run (scale={scale.name}, seed={seed})")
+    reference = _Reference(scale, seed)
+    outcomes = []
+    for name in plans:
+        plan = named_fault_plan(name, seed=seed)
+        topology = DRILL_TOPOLOGY[name]
+        outcome = DrillOutcome(plan=name, topology=topology)
+        workdir = Path(tempfile.mkdtemp(prefix=f"repro-chaos-{name}-"))
+        log(f"chaos: drilling {name} ({topology}) in {workdir}")
+        started = time.monotonic()
+        try:
+            _DRILL_RUNNERS[topology](plan, reference, outcome, workdir)
+        except Exception as exc:  # a drill must never kill its siblings
+            outcome.failures.append(f"drill raised: {exc!r}")
+        outcome.seconds = time.monotonic() - started
+        _require(
+            outcome,
+            outcome.total_injected >= 1,
+            "plan armed but no fault ever fired",
+        )
+        if not keep:
+            shutil.rmtree(workdir, ignore_errors=True)
+        log(outcome.summary())
+        outcomes.append(outcome)
+    return outcomes

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
 
+from repro.faults import RetryPolicy
 from repro.store import codec
 from repro.store.artifacts import (
     attack_store_key,
@@ -96,15 +97,24 @@ class StoreStats:
     misses: int = 0
     writes: int = 0
     errors: int = 0
+    write_retries: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
 
     def summary(self) -> str:
+        # Recovery counters appear only when nonzero: the parity gates
+        # diff clean-vs-drilled transcripts with bookkeeping masked, and
+        # a clean run's summary must not change shape.
         return (
             f"{self.hits} hits {self.misses} misses {self.writes} writes "
             f"({_human_bytes(self.bytes_read)} in, "
             f"{_human_bytes(self.bytes_written)} out"
             + (f", {self.errors} corrupt" if self.errors else "")
+            + (
+                f", {self.write_retries} write-retries"
+                if self.write_retries
+                else ""
+            )
             + ")"
         )
 
@@ -133,9 +143,15 @@ def _human_bytes(n: int | float) -> str:
 class ArtifactStore:
     """Content-addressed npz artifact store rooted at *root*."""
 
-    def __init__(self, root: str | os.PathLike, schema: int = SCHEMA_VERSION):
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        schema: int = SCHEMA_VERSION,
+        retry: RetryPolicy | None = None,
+    ):
         self.root = Path(root)
         self.schema = int(schema)
+        self.retry = retry if retry is not None else RetryPolicy.from_env()
         self.stats = StoreStats()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -196,9 +212,34 @@ class ArtifactStore:
         return None
 
     def put(self, kind: str, key: str, payload: Any) -> Path:
-        """Atomically persist *payload* under (*kind*, *key*)."""
+        """Atomically persist *payload* under (*kind*, *key*).
+
+        Transient write failures (ENOSPC while gc frees room, a flaky
+        network mount) are retried on the store's
+        :class:`~repro.faults.RetryPolicy` backoff schedule; the tmp
+        file + ``os.replace`` protocol in :func:`repro.store.codec.dump`
+        guarantees a failed attempt publishes nothing, so a retry never
+        races its own debris.  The final failure propagates — the entry
+        is simply absent, never partial.
+        """
         path = self.path_for(kind, key)
-        codec.dump(payload, path, kind=kind)
+
+        def _on_retry(attempt: int, exc: BaseException, delay: float) -> None:
+            self.stats.write_retries += 1
+            warnings.warn(
+                f"artifact store: write of {kind}/{key[:12]}… failed "
+                f"({exc}); retry {attempt + 1}/{self.retry.max_attempts} "
+                f"in {delay:.2f}s",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+        self.retry.call(
+            lambda: codec.dump(payload, path, kind=kind),
+            retry_on=(OSError,),
+            describe=f"store write {kind}/{key[:12]}",
+            on_retry=_on_retry,
+        )
         self.stats.writes += 1
         try:
             self.stats.bytes_written += path.stat().st_size

@@ -27,6 +27,7 @@ raises :class:`CodecError` instead of decoding into nonsense.
 
 from __future__ import annotations
 
+import errno
 import io
 import json
 import os
@@ -36,6 +37,7 @@ from typing import Any
 
 import numpy as np
 
+from repro import faults
 from repro.errors import ReproError
 
 __all__ = ["CODEC_VERSION", "CodecError", "dump", "dumps", "load", "loads"]
@@ -143,6 +145,10 @@ def dump(payload: Any, path: str | os.PathLike, kind: str) -> None:
     # Unique same-directory tmp name: concurrent writers never share a tmp
     # file, and os.replace makes publication atomic on POSIX and Windows.
     tmp = path.with_name(f"{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
+    if faults.fire("store.write_enospc"):
+        raise OSError(
+            errno.ENOSPC, "injected fault store.write_enospc", str(tmp)
+        )
     try:
         with open(tmp, "wb") as handle:
             np.savez(
@@ -150,6 +156,14 @@ def dump(payload: Any, path: str | os.PathLike, kind: str) -> None:
                 **{_MANIFEST_ENTRY: np.array(manifest)},
                 **{f"a{i}": array for i, array in enumerate(arrays)},
             )
+            if faults.fire("store.write_torn"):
+                # Leave a half-written tmp file behind the raise — the
+                # shape a crash mid-savez leaves on disk.
+                handle.flush()
+                handle.truncate(max(handle.tell() // 2, 1))
+                raise OSError(
+                    errno.EIO, "injected fault store.write_torn", str(tmp)
+                )
         os.replace(tmp, path)
     finally:
         if tmp.exists():  # a failed write never leaves a stray tmp behind
@@ -175,6 +189,11 @@ def load(path: str | os.PathLike, kind: str) -> Any:
         raise
     except Exception as exc:  # zipfile/json/numpy corruption flavours
         raise CodecError(f"{path}: unreadable artifact ({exc})") from exc
+    if faults.fire("store.read_corrupt"):
+        # After the successful parse, so a genuinely missing file stays
+        # a plain miss — the injected flavour is bit rot on a file that
+        # exists, which callers must treat as corruption.
+        raise CodecError(f"{path}: injected fault store.read_corrupt")
     return _check_manifest(manifest, arrays, str(path), kind)
 
 

@@ -190,3 +190,100 @@ def test_auto_worker_policy_resolves_in_process(monkeypatch):
     config = SMOKE_SCALE.attack_config(seed=0)
     assert config.n_workers == 0
     assert config.train.n_train_workers == 1
+
+
+# ---------------------------------------------------------------------------
+# Reap races (PR 9): claim-then-recheck semantics and orphaned claims
+# ---------------------------------------------------------------------------
+def _age(path, seconds: float = 100.0) -> None:
+    old = time.time() - seconds
+    os.utime(path, (old, old))
+
+
+def test_concurrent_reapers_bump_the_attempt_exactly_once(tmp_path):
+    """Two peers reaping one expired lease must not double-charge the
+    job's attempt budget — the claim rename picks exactly one winner."""
+    a = SpoolDir(tmp_path, stale_after=0.5, max_attempts=10)
+    b = SpoolDir(tmp_path, stale_after=0.5, max_attempts=10)
+    a.enqueue("k1", _job("k1"))
+    a.lease()
+    _age(a.leased_dir / "k1.npz")
+    assert a.reap_stale() + b.reap_stale() == 1
+    _, payload = a.lease()
+    assert payload["attempt"] == 1
+
+
+def test_reap_race_hands_a_fresh_lease_back_untouched(tmp_path, monkeypatch):
+    """The double-bump race: reaper A stats a stale lease; before A's
+    claim lands, peer B reaps it and a worker re-leases the requeued
+    copy at the same path.  A's claim then *wins against the fresh
+    lease* — winning the rename does not prove staleness, so A must
+    re-check mtime on the claimed file and hand it straight back."""
+    reaper = SpoolDir(tmp_path, stale_after=5.0, max_attempts=10)
+    peer = SpoolDir(tmp_path, stale_after=5.0, max_attempts=10)
+    reaper.enqueue("k1", _job("k1"))
+    reaper.lease()
+    _age(reaper.leased_dir / "k1.npz")
+
+    real_claim = SpoolDir._claim
+    raced = {}
+
+    def racing_claim(self, path):
+        if not raced:
+            raced["done"] = True
+            # The interleaving under test, injected between our
+            # staleness check and our claim rename:
+            assert peer.reap_stale() == 1
+            released = peer.lease()
+            assert released is not None and released[0] == "k1"
+        return real_claim(self, path)
+
+    monkeypatch.setattr(SpoolDir, "_claim", racing_claim)
+    assert reaper.reap_stale() == 0  # fresh lease returned untouched
+    monkeypatch.undo()
+
+    assert reaper.leased_keys() == ["k1"]
+    assert reaper.pending_keys() == []
+    assert reaper.heartbeat("k1")  # the worker still owns it
+    from repro.bus.spool import codec
+    from repro.bus.protocol import BUS_JOB_KIND
+
+    payload = codec.load(reaper.leased_dir / "k1.npz", kind=BUS_JOB_KIND)
+    assert payload["attempt"] == 1  # bumped once (peer), not twice
+
+
+def test_orphaned_claim_is_adopted_after_stale_after(tmp_path):
+    """A reaper that crashes between claiming and requeueing must not
+    strand the job: an idle ``.claim`` older than stale_after is
+    requeued by any peer."""
+    spool = SpoolDir(tmp_path, stale_after=0.5, max_attempts=10)
+    spool.enqueue("k1", _job("k1"))
+    spool.lease()
+    claim = spool.leased_dir / "k1.deadbeef.claim"
+    os.rename(spool.leased_dir / "k1.npz", claim)
+    assert spool.reap_stale() == 0  # fresh claim: its reaper is alive
+    assert claim.exists()
+    _age(claim)
+    assert spool.reap_stale() == 1
+    assert spool.pending_keys() == ["k1"]
+    _, payload = spool.lease()
+    assert payload["attempt"] == 1
+    assert "orphaned" in str(payload["last_error"])
+
+
+def test_injected_lease_race_site_skips_but_never_loses_jobs(tmp_path):
+    from repro import faults
+    from repro.faults import FaultPlan, FaultSite
+
+    spool = SpoolDir(tmp_path)
+    spool.enqueue("k1", _job("k1"))
+    faults.activate(
+        FaultPlan("race", sites=(FaultSite("spool.lease_race", times=2),))
+    )
+    try:
+        assert spool.lease() is None  # lost the injected race
+        assert spool.lease() is None
+        leased = spool.lease()  # budget spent: the job is still there
+        assert leased is not None and leased[0] == "k1"
+    finally:
+        faults.deactivate()

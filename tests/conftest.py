@@ -5,11 +5,26 @@ at a persistent artifact store.  The suite's cache-behaviour tests assert
 exact cold-run counters (locks/attacks *computed*), so an ambient store
 from the developer's shell must not leak in — tests that want one set it
 explicitly (or pass ``store=``).
+
+``REPRO_FAULT_PLAN`` arms the fault-injection layer; an ambient plan (a
+developer mid-drill) would fire faults into unrelated tests, and a test
+that activates a plan in-process must never leak it into the next test —
+both are scrubbed around every test.
 """
 
 import pytest
+
+from repro import faults
 
 
 @pytest.fixture(autouse=True)
 def _no_ambient_artifact_store(monkeypatch):
     monkeypatch.delenv("REPRO_STORE", raising=False)
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_fault_plan(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+    faults.deactivate()
+    yield
+    faults.deactivate()

@@ -1,0 +1,115 @@
+"""ArtifactStore under injected write/read faults (satellite of PR 9).
+
+The contract: a transient failure is retried and invisible; an exhausted
+budget raises cleanly with **no partial entry published** (tmp debris is
+cleaned, the key reads as a plain miss); a corrupt read heals on the
+rewrite and ``verify`` never flags the healed entry.
+"""
+
+import errno
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, FaultSite, RetryPolicy
+from repro.store import ArtifactStore
+
+KEY = "ab" * 32
+FAST = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0)
+
+
+def _arm(*sites: FaultSite) -> None:
+    faults.activate(FaultPlan("test", sites=sites))
+
+
+def test_enospc_is_retried_and_invisible(tmp_path):
+    store = ArtifactStore(tmp_path, retry=FAST)
+    _arm(FaultSite("store.write_enospc", times=2))
+    with pytest.warns(RuntimeWarning, match="retry"):
+        store.put("locks", KEY, {"x": 1, "a": np.arange(4)})
+    assert store.stats.write_retries == 2
+    assert store.stats.writes == 1
+    faults.deactivate()
+    back = store.get("locks", KEY)
+    assert back["x"] == 1
+    assert store.verify() == []
+    assert "2 write-retries" in store.stats.summary()
+
+
+def test_enospc_exhaustion_raises_and_publishes_nothing(tmp_path):
+    store = ArtifactStore(tmp_path, retry=FAST)
+    _arm(FaultSite("store.write_enospc", times=-1))
+    with pytest.warns(RuntimeWarning):
+        with pytest.raises(OSError) as excinfo:
+            store.put("locks", KEY, {"x": 1})
+    assert excinfo.value.errno == errno.ENOSPC
+    faults.deactivate()
+    assert store.stats.writes == 0
+    assert not store.has("locks", KEY)  # absent, never partial
+    assert store.get("locks", KEY) is None
+    assert list(tmp_path.rglob("*.tmp")) == []
+
+
+def test_torn_write_is_retried_and_leaves_no_debris(tmp_path):
+    store = ArtifactStore(tmp_path, retry=FAST)
+    _arm(FaultSite("store.write_torn", times=1))
+    with pytest.warns(RuntimeWarning, match="retry"):
+        store.put("attacks", KEY, {"a": np.arange(1000)})
+    faults.deactivate()
+    assert store.stats.write_retries == 1
+    np.testing.assert_array_equal(
+        store.get("attacks", KEY)["a"], np.arange(1000)
+    )
+    assert list(tmp_path.rglob("*.tmp")) == []
+    assert store.verify() == []
+
+
+def test_torn_write_exhaustion_never_publishes_a_partial_entry(tmp_path):
+    store = ArtifactStore(tmp_path, retry=FAST)
+    _arm(FaultSite("store.write_torn", times=-1))
+    with pytest.warns(RuntimeWarning):
+        with pytest.raises(OSError) as excinfo:
+            store.put("attacks", KEY, {"a": np.arange(1000)})
+    assert excinfo.value.errno == errno.EIO
+    faults.deactivate()
+    assert not store.has("attacks", KEY)
+    assert list(tmp_path.rglob("*.tmp")) == []  # torn tmp file cleaned up
+    assert store.verify() == []
+
+
+def test_read_corrupt_is_a_miss_and_the_rewrite_heals(tmp_path):
+    store = ArtifactStore(tmp_path, retry=FAST)
+    store.put("locks", KEY, {"x": 1})
+    _arm(FaultSite("store.read_corrupt", times=1))
+    with pytest.warns(RuntimeWarning, match="unreadable"):
+        assert store.get("locks", KEY) is None  # injected corrupt read
+    assert store.stats.errors == 1
+    # The caller recomputes and rewrites — the budget is spent, so the
+    # healed entry decodes cleanly and `cache verify` must not flag it.
+    store.put("locks", KEY, {"x": 1})
+    assert store.get("locks", KEY) == {"x": 1}
+    assert store.verify() == []
+    faults.deactivate()
+
+
+def test_missing_file_is_a_plain_miss_even_when_read_corrupt_is_armed(
+    tmp_path,
+):
+    store = ArtifactStore(tmp_path, retry=FAST)
+    _arm(FaultSite("store.read_corrupt", times=-1))
+    assert store.get("locks", KEY) is None
+    assert store.stats.errors == 0  # a miss, not a corruption event
+    assert faults.fired_counts() == {}  # the site never even fired
+    faults.deactivate()
+
+
+def test_clean_summary_has_no_recovery_tokens(tmp_path):
+    # The transcript parity gates diff clean-vs-drilled output; a clean
+    # run's store summary must not change shape.
+    store = ArtifactStore(tmp_path, retry=FAST)
+    store.put("locks", KEY, {"x": 1})
+    store.get("locks", KEY)
+    summary = store.stats.summary()
+    assert "write-retries" not in summary
+    assert "corrupt" not in summary
