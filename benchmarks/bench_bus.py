@@ -50,6 +50,10 @@ from repro.experiments import (
 from repro.store import ArtifactStore
 
 WORKERS = int(os.environ.get("REPRO_BENCH_BUS_WORKERS", "4"))
+#: Spool workers claim this many jobs per directory scan (PR 10): the
+#: measured ~122ms/job spool overhead is mostly per-lease filesystem
+#: round-trips, so batching amortizes it across the batch.
+LEASE_BATCH = int(os.environ.get("REPRO_BENCH_BUS_LEASE_BATCH", "2"))
 #: 0 disables the gate (CI containers are too small to win); the
 #: multicore measurement run arms it at 2.
 MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_BUS_MIN_SPEEDUP", "0"))
@@ -147,7 +151,11 @@ def test_bus_fanout_speedup_and_overhead():
         spool_store = ArtifactStore(tmp / "store-spool")
         spool = SpoolDir(tmp / "spool")
         workers = _start_workers(
-            ["--bus-dir", str(spool.root), "--store", str(spool_store.root)]
+            [
+                "--bus-dir", str(spool.root),
+                "--store", str(spool_store.root),
+                "--lease-batch", str(LEASE_BATCH),
+            ]
         )
         try:
             runner = ExperimentRunner(
@@ -193,10 +201,12 @@ def test_bus_fanout_speedup_and_overhead():
             "workers": WORKERS,
             "cores": cores,
             "serial_s": round(serial_s, 2),
+            "serial_s_per_job": round(serial_s / jobs, 3),
             "spool": {
                 "seconds": round(spool_s, 2),
                 "speedup": round(spool_speedup, 2),
                 "bus_overhead_ms_per_job": round(spool_overhead, 2),
+                "lease_batch": LEASE_BATCH,
             },
             "socket": {
                 "seconds": round(socket_s, 2),

@@ -14,15 +14,19 @@ from repro.bus.protocol import (
     BUS_DIR_ENV,
     BUS_ENV,
     BUS_JOB_KIND,
+    BUS_LEASE_BATCH_ENV,
     BUS_LIVENESS_ENV,
     BUS_MESSAGE_KIND,
     BUS_QUARANTINE_KIND,
+    DEFAULT_LEASE_BATCH,
     DEFAULT_LIVENESS,
     DEFAULT_MAX_ATTEMPTS,
+    DEFAULT_PIPELINE,
     DEFAULT_POLL,
     DEFAULT_STALE_AFTER,
     DEFAULT_WORKER_BLAS_THREADS,
     JOB_ARTIFACT_KINDS,
+    SERVE_ADDR_ENV,
     BusError,
     BusStats,
     JobBus,
@@ -44,15 +48,19 @@ __all__ = [
     "BUS_DIR_ENV",
     "BUS_ENV",
     "BUS_JOB_KIND",
+    "BUS_LEASE_BATCH_ENV",
     "BUS_LIVENESS_ENV",
     "BUS_MESSAGE_KIND",
     "BUS_QUARANTINE_KIND",
     "JOB_ARTIFACT_KINDS",
+    "SERVE_ADDR_ENV",
     "BusError",
     "job_artifact_kind",
     "BusStats",
+    "DEFAULT_LEASE_BATCH",
     "DEFAULT_LIVENESS",
     "DEFAULT_MAX_ATTEMPTS",
+    "DEFAULT_PIPELINE",
     "DEFAULT_POLL",
     "DEFAULT_STALE_AFTER",
     "DEFAULT_WORKER_BLAS_THREADS",

@@ -42,12 +42,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 __all__ = [
     "BLAS_THREADS_ENV",
     "BUS_JOB_KIND",
+    "BUS_LEASE_BATCH_ENV",
     "BUS_LIVENESS_ENV",
     "BUS_MESSAGE_KIND",
     "BUS_QUARANTINE_KIND",
+    "DEFAULT_LEASE_BATCH",
     "DEFAULT_LIVENESS",
+    "DEFAULT_PIPELINE",
     "DEFAULT_WORKER_BLAS_THREADS",
     "JOB_ARTIFACT_KINDS",
+    "SERVE_ADDR_ENV",
     "BusError",
     "BusStats",
     "JobBus",
@@ -73,7 +77,9 @@ BUS_STALE_ENV = "REPRO_BUS_STALE"
 BUS_MAX_ATTEMPTS_ENV = "REPRO_BUS_MAX_ATTEMPTS"
 BUS_TIMEOUT_ENV = "REPRO_BUS_TIMEOUT"
 BUS_LIVENESS_ENV = "REPRO_BUS_LIVENESS"
+BUS_LEASE_BATCH_ENV = "REPRO_BUS_LEASE_BATCH"
 BLAS_THREADS_ENV = "REPRO_BLAS_THREADS"
+SERVE_ADDR_ENV = "REPRO_SERVE_ADDR"
 
 #: A lease with no heartbeat for this many seconds is presumed dead and
 #: returns to pending (the holder was SIGKILLed / lost power / vanished).
@@ -95,6 +101,15 @@ DEFAULT_LIVENESS = 300.0
 #: concurrent workers each waking a cores-wide spin pool double per-job
 #: wall-clock.  ``repro worker --blas-threads 0`` opts out.
 DEFAULT_WORKER_BLAS_THREADS = 1
+#: How many leases a spool worker claims per directory scan.  1 keeps
+#: the PR-9 chaos-drill semantics (one held lease, one heartbeat); the
+#: spool bench raises it to amortize the sorted-scan cost on small jobs.
+DEFAULT_LEASE_BATCH = 1
+#: Jobs a serve worker keeps in flight on its persistent connection.
+#: The worker executes serially; a depth of 2 means the next job is
+#: already buffered in the socket when the current one finishes, hiding
+#: the scheduler round-trip entirely.
+DEFAULT_PIPELINE = 2
 
 
 class BusError(ReproError):

@@ -175,6 +175,16 @@ class _Server:
         bound = self._listener.getsockname()
         self.address = f"{bound[0]}:{bound[1]}"
 
+    def _accepted(self, sock: socket.socket) -> bool:
+        """Hook consulted on every accept; ``False`` drops the peer.
+
+        The base server accepts everything; the serve front-end
+        (:mod:`repro.serve`) overrides this to honor the
+        ``serve.accept_drop`` fault site — the peer sees an immediate
+        EOF and must reconnect on its retry schedule.
+        """
+        return True
+
     def poll(self, timeout: float) -> list[tuple[_Connection, list[dict] | None]]:
         """One select cycle → ``(connection, messages-or-EOF)`` events."""
         events = []
@@ -184,6 +194,12 @@ class _Server:
                 try:
                     conn_sock, _ = self._listener.accept()
                 except OSError:  # pragma: no cover - racing close
+                    continue
+                if not self._accepted(conn_sock):
+                    try:
+                        conn_sock.close()
+                    except OSError:  # pragma: no cover
+                        pass
                     continue
                 # settimeout(None) == setblocking(True); a finite value
                 # keeps blocking semantics but bounds each operation.

@@ -36,6 +36,9 @@ from typing import TYPE_CHECKING
 from repro import faults
 from repro.bus.protocol import (
     BLAS_THREADS_ENV,
+    BUS_LEASE_BATCH_ENV,
+    DEFAULT_LEASE_BATCH,
+    DEFAULT_PIPELINE,
     DEFAULT_POLL,
     DEFAULT_STALE_AFTER,
     DEFAULT_WORKER_BLAS_THREADS,
@@ -95,11 +98,18 @@ def _mid_job_faults() -> None:
 
 
 class _Heartbeat:
-    """Daemon thread refreshing one spool lease while a job executes."""
+    """Daemon thread refreshing held spool leases while a job executes.
 
-    def __init__(self, spool: SpoolDir, key: str, interval: float) -> None:
+    With batched leasing a worker holds the executing lease *plus* the
+    still-queued remainder of its batch — all of them must keep beating,
+    or a reaper requeues jobs this process is about to run.
+    """
+
+    def __init__(
+        self, spool: SpoolDir, keys: "str | list[str]", interval: float
+    ) -> None:
         self._spool = spool
-        self._key = key
+        self._keys = [keys] if isinstance(keys, str) else list(keys)
         self._interval = interval
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._beat, daemon=True)
@@ -116,13 +126,15 @@ class _Heartbeat:
         while not self._stop.wait(self._interval):
             if faults.fire("spool.heartbeat_stall"):
                 return  # injected: the heartbeat dies, the job lives on
-            if not self._spool.heartbeat(self._key):
-                return  # reaped out from under us; stop touching it
+            self._keys = [k for k in self._keys if self._spool.heartbeat(k)]
+            if not self._keys:
+                return  # all reaped out from under us; stop touching them
 
 
 def run_worker(
     bus_dir: "str | os.PathLike | None" = None,
     bus_addr: str | None = None,
+    serve_addr: str | None = None,
     store: "ArtifactStore | str | os.PathLike | None" = None,
     poll: float = DEFAULT_POLL,
     stale_after: float = DEFAULT_STALE_AFTER,
@@ -130,15 +142,18 @@ def run_worker(
     idle_timeout: float | None = None,
     max_jobs: int | None = None,
     blas_threads: int | None = None,
+    lease_batch: int | None = None,
+    pipeline: int = DEFAULT_PIPELINE,
     retry: RetryPolicy | None = None,
     log=print,
 ) -> WorkerStats:
     """Run the worker loop until idle for *idle_timeout* seconds.
 
-    Exactly one of *bus_dir* (spool mode, requires *store*) or
-    *bus_addr* (socket mode) must be given.  ``idle_timeout=None`` runs
-    forever (the daemon deployment); *max_jobs* bounds how many jobs
-    this process executes (useful in tests and crash drills).
+    Exactly one of *bus_dir* (spool mode, requires *store*), *bus_addr*
+    (socket mode) or *serve_addr* (persistent pipelined connection to a
+    ``repro serve`` front end) must be given.  ``idle_timeout=None``
+    runs forever (the daemon deployment); *max_jobs* bounds how many
+    jobs this process executes (useful in tests and crash drills).
 
     *blas_threads* caps the OpenBLAS pool for this process (default 1,
     ``REPRO_BLAS_THREADS`` to override, 0 to leave BLAS alone): the
@@ -146,17 +161,29 @@ def run_worker(
     cores-wide BLAS spin pool oversubscribes the host and doubles
     per-job wall-clock.
 
-    *retry* is the socket-mode connect/read policy (timeouts + the
-    reconnect backoff schedule); default :meth:`RetryPolicy.from_env`.
+    *lease_batch* (spool mode) claims up to that many jobs per
+    directory scan, amortizing the sorted-scan overhead on small jobs
+    (``REPRO_BUS_LEASE_BATCH``, default 1).  *pipeline* (serve mode) is
+    the in-flight window this worker advertises to the server.
+
+    *retry* is the socket/serve-mode connect/read policy (timeouts +
+    the reconnect backoff schedule); default
+    :meth:`RetryPolicy.from_env`.
     """
-    if (bus_dir is None) == (bus_addr is None):
-        raise BusError("worker needs exactly one of bus_dir or bus_addr")
+    chosen = [x for x in (bus_dir, bus_addr, serve_addr) if x is not None]
+    if len(chosen) != 1:
+        raise BusError(
+            "worker needs exactly one of bus_dir, bus_addr or serve_addr"
+        )
     if blas_threads is None:
         raw = os.environ.get(BLAS_THREADS_ENV, "").strip()
         blas_threads = int(raw) if raw else DEFAULT_WORKER_BLAS_THREADS
     limit_blas_threads(blas_threads)
     if retry is None:
         retry = RetryPolicy.from_env()
+    if lease_batch is None:
+        raw = os.environ.get(BUS_LEASE_BATCH_ENV, "").strip()
+        lease_batch = int(raw) if raw else DEFAULT_LEASE_BATCH
     if bus_dir is not None:
         return _run_spool_worker(
             bus_dir,
@@ -166,6 +193,17 @@ def run_worker(
             max_attempts=max_attempts,
             idle_timeout=idle_timeout,
             max_jobs=max_jobs,
+            lease_batch=max(1, lease_batch),
+            log=log,
+        )
+    if serve_addr is not None:
+        return _run_serve_worker(
+            serve_addr,
+            poll=poll,
+            idle_timeout=idle_timeout,
+            max_jobs=max_jobs,
+            pipeline=max(1, pipeline),
+            retry=retry,
             log=log,
         )
     return _run_socket_worker(
@@ -190,6 +228,7 @@ def _run_spool_worker(
     max_attempts: int | None,
     idle_timeout: float | None,
     max_jobs: int | None,
+    lease_batch: int,
     log,
 ) -> WorkerStats:
     from repro.bus.protocol import DEFAULT_MAX_ATTEMPTS, job_artifact_kind
@@ -213,10 +252,11 @@ def _run_spool_worker(
     stats = WorkerStats()
     heartbeat_every = max(stale_after / 4.0, 0.05)
     idle_since = time.monotonic()
-    while True:
+    done = False
+    while not done:
         spool.reap_stale()
-        leased = spool.lease()
-        if leased is None:
+        batch = spool.lease_batch(lease_batch)
+        if not batch:
             if (
                 idle_timeout is not None
                 and time.monotonic() - idle_since > idle_timeout
@@ -225,22 +265,37 @@ def _run_spool_worker(
             time.sleep(poll)
             continue
         idle_since = time.monotonic()
-        key, payload = leased
-        job_payload = payload.get("job") or {}
-        artifact_kind = job_artifact_kind(job_payload.get("kind", "attack"))
-        if resolved.has(artifact_kind, key):
-            # Warm store: a peer (or a previous run) already produced
-            # this artifact — adopt it instead of recomputing.
-            spool.complete(key)
-            stats.skipped += 1
-            log(f"worker[{os.getpid()}]: {key[:12]}… already in store")
-        else:
-            _execute_leased(
-                spool, resolved, artifact_kind, key, payload,
-                heartbeat_every, stats, log, execute_job,
-            )
-        if max_jobs is not None and stats.executed + stats.skipped >= max_jobs:
-            break
+        try:
+            while batch:
+                key, payload = batch.pop(0)
+                job_payload = payload.get("job") or {}
+                artifact_kind = job_artifact_kind(
+                    job_payload.get("kind", "attack")
+                )
+                if resolved.has(artifact_kind, key):
+                    # Warm store: a peer (or a previous run) already
+                    # produced this artifact — adopt, don't recompute.
+                    spool.complete(key)
+                    stats.skipped += 1
+                    log(f"worker[{os.getpid()}]: {key[:12]}… already in store")
+                else:
+                    _execute_leased(
+                        spool, resolved, artifact_kind, key, payload,
+                        heartbeat_every, stats, log, execute_job,
+                        held_keys=[k for k, _ in batch],
+                    )
+                if (
+                    max_jobs is not None
+                    and stats.executed + stats.skipped >= max_jobs
+                ):
+                    done = True
+                    break
+        finally:
+            # Leases this process will not execute (max_jobs reached,
+            # interrupt, a crash between jobs) go straight back to
+            # pending instead of waiting out a stale-reap.
+            for key, _ in batch:
+                spool.release(key, "worker released unexecuted batch lease")
     log(f"worker[{os.getpid()}]: done ({stats.summary()})")
     return stats
 
@@ -255,10 +310,11 @@ def _execute_leased(
     stats: WorkerStats,
     log,
     execute_job,
+    held_keys: "list[str] | None" = None,
 ) -> None:
     try:
         job = decode_job(payload["job"])
-        with _Heartbeat(spool, key, heartbeat_every):
+        with _Heartbeat(spool, [key, *(held_keys or [])], heartbeat_every):
             _test_delay()
             _mid_job_faults()
             artifact = execute_job(job)
@@ -390,6 +446,142 @@ def _run_socket_worker(
                 except OSError:  # pragma: no cover
                     pass
                 conn = None  # server will requeue; nothing else to do
+            if (
+                max_jobs is not None
+                and stats.executed + stats.skipped >= max_jobs
+            ):
+                break
+    finally:
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+    log(f"worker[{os.getpid()}]: done ({stats.summary()})")
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# Serve mode — persistent pipelined connection to `repro serve`
+# ---------------------------------------------------------------------------
+def _run_serve_worker(
+    serve_addr: str,
+    *,
+    poll: float,
+    idle_timeout: float | None,
+    max_jobs: int | None,
+    pipeline: int,
+    retry: RetryPolicy,
+    log,
+) -> WorkerStats:
+    """Announce, then execute **pushed** jobs off one long connection.
+
+    Unlike socket mode there is no lease round-trip: the server keeps up
+    to *pipeline* job frames in flight, so the next job is already
+    sitting in this socket's buffer when the current one finishes.  A
+    dropped connection (server restart, injected ``serve.accept_drop``)
+    reconnects on the retry backoff; the server requeues whatever this
+    worker had in flight.
+    """
+    import errno
+    import select
+
+    from repro.bus.socketbus import parse_address, recv_message, send_message
+    from repro.experiments.runner import execute_job
+
+    host, port = parse_address(serve_addr)
+    stats = WorkerStats()
+    idle_since = time.monotonic()
+    conn: socket.socket | None = None
+    connect_attempt = 0
+    log(
+        f"worker[{os.getpid()}]: serve {host}:{port} (pipeline {pipeline})"
+    )
+    try:
+        while True:
+            if (
+                idle_timeout is not None
+                and time.monotonic() - idle_since > idle_timeout
+            ):
+                break
+            if conn is None:
+                try:
+                    if faults.fire("socket.connect_refused"):
+                        raise OSError(
+                            errno.ECONNREFUSED,
+                            "injected fault socket.connect_refused",
+                        )
+                    conn = socket.create_connection(
+                        (host, port), timeout=retry.connect_timeout
+                    )
+                    conn.settimeout(retry.read_timeout)
+                    send_message(
+                        conn,
+                        {"op": "hello", "role": "worker", "pipeline": pipeline},
+                    )
+                except OSError:
+                    if conn is not None:
+                        try:
+                            conn.close()
+                        except OSError:  # pragma: no cover
+                            pass
+                        conn = None
+                    connect_attempt += 1
+                    time.sleep(max(retry.delay(connect_attempt), poll))
+                    continue
+                connect_attempt = 0
+            # Wait for readability on a short slice (so idle_timeout and
+            # reconnects stay responsive), then read the *whole* frame
+            # under the full read timeout — a poll-length timeout inside
+            # recv_message would desync on a partially arrived frame.
+            try:
+                ready, _, _ = select.select([conn], [], [], poll)
+                if not ready:
+                    continue
+                message = recv_message(conn)
+            except OSError:
+                message = None
+            if message is None:  # server went away; reconnect
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+                conn = None
+                time.sleep(poll)
+                continue
+            if message.get("op") != "job":  # pragma: no cover - bad server
+                continue
+            idle_since = time.monotonic()
+            key = str(message["key"])
+            try:
+                job = decode_job(message["job"])
+                _test_delay()
+                _mid_job_faults()
+                artifact = execute_job(job)
+            except Exception:
+                stats.failed += 1
+                reply = {
+                    "op": "failed",
+                    "key": key,
+                    "traceback": traceback.format_exc(),
+                }
+            else:
+                stats.executed += 1
+                reply = {
+                    "op": "done",
+                    "key": key,
+                    "kind": getattr(job, "artifact_kind", "attacks"),
+                    "result": artifact,
+                }
+                log(f"worker[{os.getpid()}]: completed {key[:12]}…")
+            try:
+                send_message(conn, reply)
+            except OSError:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+                conn = None  # server requeues its in-flight window
             if (
                 max_jobs is not None
                 and stats.executed + stats.skipped >= max_jobs

@@ -43,6 +43,13 @@ cannot mount it.  Results are bit-identical across all backends::
     python -m repro.cli worker --bus-dir /tmp/spool --store /tmp/store &
     python -m repro.cli figures --scale smoke --bus spool \
         --bus-dir /tmp/spool --store /tmp/store
+
+``repro serve`` is the persistent attack-as-a-service shape: a
+long-running server owning the artifact store, a warm result cache and
+a fleet of pipelined workers; ``repro attack --serve HOST:PORT`` (or
+:mod:`repro.client`) submits content-keyed requests to it, and
+``--store remote://HOST:PORT`` points any store consumer at its
+artifact pool with no shared filesystem.
 """
 
 from __future__ import annotations
@@ -141,13 +148,28 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         n_workers=resolve_worker_count(args.workers, "workers"),
         score_prefetch=args.score_prefetch,
     )
-    from repro.store import resolve_store
+    if args.serve:
+        # Served mode: ship the request to a `repro serve` process and
+        # decode the returned artifact — the output lines below stay
+        # byte-identical to a local run for the parity gates.
+        from repro.client import ServeClient
+        from repro.core.muxlink import rescore_key
 
-    store = resolve_store(args.store)  # --store wins, else REPRO_STORE
-    result = run_muxlink(circuit, config, store=store)
-    print(f"predicted key: {result.predicted_key}")
+        client = ServeClient(args.serve)
+        try:
+            result = client.attack(circuit, config)
+        finally:
+            client.close()
+        predicted = rescore_key(result, config.threshold)
+    else:
+        from repro.store import resolve_store
+
+        store = resolve_store(args.store)  # --store wins, else REPRO_STORE
+        result = run_muxlink(circuit, config, store=store)
+        predicted = result.predicted_key
+    print(f"predicted key: {predicted}")
     if key:
-        metrics = score_key(result.predicted_key, key)
+        metrics = score_key(predicted, key)
         print(
             f"AC={metrics.accuracy:.3f} PC={metrics.precision:.3f} "
             f"KPA={metrics.kpa:.3f} X={metrics.n_x}"
@@ -218,14 +240,24 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 def _cmd_worker(args: argparse.Namespace) -> int:
     import os
 
-    from repro.bus import BUS_ADDR_ENV, BUS_DIR_ENV, BusError, run_worker
+    from repro.bus import (
+        BUS_ADDR_ENV,
+        BUS_DIR_ENV,
+        SERVE_ADDR_ENV,
+        BusError,
+        run_worker,
+    )
 
     bus_dir = args.bus_dir or os.environ.get(BUS_DIR_ENV, "").strip() or None
     bus_addr = args.bus_addr or os.environ.get(BUS_ADDR_ENV, "").strip() or None
+    serve_addr = (
+        args.serve_addr or os.environ.get(SERVE_ADDR_ENV, "").strip() or None
+    )
     try:
         stats = run_worker(
             bus_dir=bus_dir,
             bus_addr=bus_addr,
+            serve_addr=serve_addr,
             store=args.store,
             poll=args.poll,
             stale_after=args.stale_after,
@@ -233,11 +265,80 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             idle_timeout=args.idle_timeout,
             max_jobs=args.max_jobs,
             blas_threads=args.blas_threads,
+            lease_batch=args.lease_batch,
+            pipeline=args.pipeline,
         )
     except BusError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(f"worker: {stats.summary()}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+    import subprocess
+
+    from repro.bus.protocol import SERVE_ADDR_ENV
+    from repro.serve import AttackServer, ServeError
+
+    try:
+        server = AttackServer(
+            args.addr,
+            args.store,
+            max_attempts=args.max_attempts,
+            liveness=args.liveness,
+            poll=args.poll,
+            cache_entries=args.cache_entries,
+        )
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # Readiness line first (benches and CI parse the bound address from
+    # it — the listening socket is already open at this point).
+    print(
+        f"serve: listening on {server.address} "
+        f"(store {server.store.root}, workers {args.workers}, "
+        f"pipeline {args.pipeline})",
+        flush=True,
+    )
+    workers: list[subprocess.Popen] = []
+    env = dict(os.environ)
+    env[SERVE_ADDR_ENV] = server.address
+    try:
+        for _ in range(args.workers):
+            workers.append(
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-u",
+                        "-m",
+                        "repro.cli",
+                        "worker",
+                        "--serve-addr",
+                        server.address,
+                        "--pipeline",
+                        str(args.pipeline),
+                        "--poll",
+                        str(args.poll),
+                    ],
+                    env=env,
+                )
+            )
+        stats = server.serve_forever(
+            idle_timeout=args.idle_timeout, max_requests=args.max_requests
+        )
+    finally:
+        server.close()
+        for proc in workers:
+            proc.terminate()
+        for proc in workers:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+    print(f"serve: {stats.summary()}")
+    print(f"serve: store {server.store.stats.summary()}")
     return 0
 
 
@@ -721,6 +822,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="artifact store directory: cache this attack by netlist "
         "digest + config hash (default: REPRO_STORE, no store when unset)",
     )
+    p.add_argument(
+        "--serve",
+        default=None,
+        metavar="ADDR",
+        help="submit to a running `repro serve` endpoint (host:port) "
+        "instead of executing locally; output is identical",
+    )
     p.set_defaults(func=_cmd_attack)
 
     p = sub.add_parser(
@@ -847,6 +955,27 @@ def build_parser() -> argparse.ArgumentParser:
         "single-core and concurrent workers oversubscribe otherwise; "
         "REPRO_BLAS_THREADS overrides; 0 leaves BLAS alone)",
     )
+    p.add_argument(
+        "--serve-addr",
+        default=None,
+        help="`repro serve` endpoint to hold a persistent pipelined "
+        "connection to (default: REPRO_SERVE_ADDR)",
+    )
+    p.add_argument(
+        "--pipeline",
+        type=int,
+        default=2,
+        help="serve mode: jobs to keep in flight on the connection "
+        "(the next job is pre-shipped while the current one executes)",
+    )
+    p.add_argument(
+        "--lease-batch",
+        type=int,
+        default=None,
+        help="spool mode: claim up to N pending jobs per directory scan "
+        "(default: REPRO_BUS_LEASE_BATCH or 1; amortizes scan overhead "
+        "on small jobs)",
+    )
     p.set_defaults(func=_cmd_worker)
 
     p = sub.add_parser(
@@ -861,7 +990,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="named fault plan to drill (repeatable): worker-crash, "
         "socket-flaky, torn-store, enospc, heartbeat-stall, lease-race, "
-        "all-workers-die",
+        "all-workers-die, serve-flaky",
     )
     p.add_argument(
         "--scale",
@@ -918,6 +1047,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit after this many completed jobs",
     )
     p.set_defaults(func=_cmd_serve_bus)
+
+    p = sub.add_parser(
+        "serve",
+        help="attack-as-a-service: a persistent server with warm "
+        "caches, a remote artifact store and pipelined workers",
+    )
+    p.add_argument(
+        "--addr",
+        default="127.0.0.1:0",
+        help="bind address host:port (default: ephemeral localhost port)",
+    )
+    p.add_argument(
+        "--store",
+        default=None,
+        help="artifact store directory the server owns — also the "
+        "backing of remote:// stores (default: REPRO_STORE)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="persistent pre-warmed worker processes to spawn "
+        "(0 = external workers connect with `repro worker --serve-addr`)",
+    )
+    p.add_argument(
+        "--pipeline",
+        type=int,
+        default=2,
+        help="jobs kept in flight per worker connection",
+    )
+    p.add_argument("--poll", type=float, default=0.25)
+    p.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        help="requeue budget before a failing request is reported failed",
+    )
+    p.add_argument(
+        "--liveness",
+        type=float,
+        default=300.0,
+        help="seconds of worker silence before queued requests fail "
+        "over to in-process execution (0 disables)",
+    )
+    p.add_argument(
+        "--cache-entries",
+        type=int,
+        default=256,
+        help="in-memory result-cache entries (the warmest tier)",
+    )
+    p.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        help="exit after this many fully idle seconds (default: forever)",
+    )
+    p.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        help="exit once this many submits have been taken and settled",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "cache", help="administer a persistent artifact store"

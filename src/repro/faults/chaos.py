@@ -37,13 +37,16 @@ __all__ = ["DRILL_TOPOLOGY", "DrillOutcome", "run_chaos"]
 #: Which execution topology exercises each named plan.  ``spool`` and
 #: ``socket`` drills run real worker subprocesses (the plan travels via
 #: ``REPRO_FAULT_PLAN``); ``local`` drills arm the plan in-process and
-#: exercise the store write/read path.
+#: exercise the store write/read path; the ``serve`` drill runs a real
+#: ``repro serve`` process (pipelined workers + remote store) and gates
+#: on bit-identical artifact payloads rather than figure tables.
 DRILL_TOPOLOGY: dict[str, str] = {
     "worker-crash": "spool",
     "heartbeat-stall": "spool",
     "lease-race": "spool",
     "all-workers-die": "spool",
     "socket-flaky": "socket",
+    "serve-flaky": "serve",
     "torn-store": "local",
     "enospc": "local",
 }
@@ -363,9 +366,157 @@ def _drill_local(
     )
 
 
+def _canon_payload(value):
+    """Hashable canonical form of a codec payload tree (arrays by bytes)."""
+    import numpy as np
+
+    if isinstance(value, dict):
+        return tuple(
+            sorted((k, _canon_payload(v)) for k, v in value.items())
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_canon_payload(v) for v in value)
+    if isinstance(value, np.ndarray):
+        return (str(value.dtype), value.shape, value.tobytes())
+    return value
+
+
+def _artifact_fingerprint(payload: dict):
+    """Bit-level identity of an artifact, minus wall-clock timing."""
+    return _canon_payload(
+        {k: v for k, v in payload.items() if k != "runtime_seconds"}
+    )
+
+
+_SERVE_READY = re.compile(r"serve: listening on (\S+) ")
+
+
+def _drill_serve(
+    plan: FaultPlan, reference: _Reference, outcome: DrillOutcome, workdir: Path
+) -> None:
+    """Attack-as-a-service drill: drop accepted connections, time out reads.
+
+    A real ``repro serve`` process (two pipelined workers, on-disk store)
+    runs under the plan — ``serve.accept_drop`` fires in its listener as
+    workers and clients connect, and every party must reconnect-and-retry
+    through it.  The drill process arms the same plan locally so
+    ``remote_store.read_timeout`` bites the :class:`RemoteStore` fetch of
+    the finished artifacts.  No figure table is rendered at the job
+    level, so parity gates on the artifact payloads themselves: every
+    served artifact must be bit-identical (timing aside) to a clean
+    in-process :func:`execute_job` run of the same jobs.
+    """
+    from repro import faults
+    from repro.benchgen import load_benchmark
+    from repro.client import ServeClient
+    from repro.experiments.common import lock_with
+    from repro.experiments.runner import execute_job
+    from repro.store.remote import RemoteStore
+
+    # The exact AttackJobs the runner/client would build for the grid.
+    jobs = []
+    for cell in reference.cells:
+        base = load_benchmark(cell.benchmark, scale=cell.circuit_scale)
+        locked = lock_with(
+            cell.scheme, base, key_size=cell.key_size, seed=cell.lock_seed
+        )
+        jobs.append(ServeClient.job_for(locked.circuit, cell.config))
+
+    # Clean in-process reference: the parity target for every served job.
+    expected = {
+        job.store_key: _artifact_fingerprint(execute_job(job))
+        for job in jobs
+    }
+
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-u", "-m", "repro.cli", "serve",
+            "--addr", "127.0.0.1:0",
+            "--store", str(workdir / "store"),
+            "--workers", "2",
+            "--poll", "0.1",
+        ],
+        env=_worker_env(plan),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    client = remote = None
+    faults.activate(plan)
+    try:
+        # Readiness line first — fault-fired lines only start once
+        # connections arrive, so the bound address is always line one.
+        box: dict = {}
+        reader = threading.Thread(
+            target=lambda: box.update(line=proc.stdout.readline()),
+            daemon=True,
+        )
+        reader.start()
+        reader.join(timeout=60)
+        match = _SERVE_READY.search(box.get("line") or "")
+        if match is None:
+            outcome.failures.append(
+                f"serve never became ready: {box.get('line')!r}"
+            )
+            return
+        address = match.group(1)
+
+        client = ServeClient(address)
+        for job in jobs:
+            client.submit_job(job, wait=False)
+        served = {}
+        for job in jobs:
+            client.result(job.store_key, timeout=240)
+            remote = remote or RemoteStore(address)
+            payload = remote.get(job.artifact_kind, job.store_key)
+            _require(
+                outcome,
+                payload is not None,
+                f"remote store lost artifact {job.store_key[:12]}…",
+            )
+            if payload is not None:
+                served[job.store_key] = _artifact_fingerprint(payload)
+        stats = client.stats()
+        outcome.requeues = int(stats.get("requeues", 0))
+        outcome.failed_over = int(stats.get("failed_over", 0))
+        client.shutdown()
+
+        outcome.fingerprints_match = served == expected
+        # No table exists at the job level; payload identity is the gate.
+        outcome.tables_match = outcome.fingerprints_match
+        if not outcome.fingerprints_match:
+            outcome.failures.append(
+                "served artifacts diverged from the clean in-process run"
+            )
+    finally:
+        # Local fires (the remote-store timeout) are erased by
+        # deactivate(), so fold them into the tally first.
+        for site, count in faults.fired_counts().items():
+            outcome.injected[site] = outcome.injected.get(site, 0) + count
+        faults.deactivate()
+        if remote is not None:
+            remote.close()
+        if client is not None:
+            client.close()
+        output = _reap_worker(proc)
+        outcome.store_discards = remote.stats.errors if remote else 0
+    _count_fired([output], outcome.injected)
+    _require(
+        outcome,
+        outcome.injected.get("serve.accept_drop", 0) >= 1,
+        "the listener never dropped a connection — accept_drop did not bite",
+    )
+    _require(
+        outcome,
+        outcome.injected.get("remote_store.read_timeout", 0) >= 1,
+        "no remote-store read ever timed out — the fault did not bite",
+    )
+
+
 _DRILL_RUNNERS = {
     "spool": _drill_spool,
     "socket": _drill_socket,
+    "serve": _drill_serve,
     "local": _drill_local,
 }
 

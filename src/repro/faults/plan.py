@@ -66,6 +66,10 @@ FAULT_SITES = {
     "spool.heartbeat_stall": "the lease heartbeat thread stops beating",
     "worker.crash_after_n": "worker os._exit(137)s mid-job (SIGKILL-alike)",
     "worker.slow_factor": "worker stalls `param` seconds before executing",
+    "serve.accept_drop": (
+        "the serve front-end drops an accepted connection before reading"
+    ),
+    "remote_store.read_timeout": "a RemoteStore round-trip raises a timeout",
 }
 
 #: The named plans ``repro chaos --plan`` accepts (site specs only; the
@@ -78,6 +82,7 @@ NAMED_PLANS = (
     "heartbeat-stall",
     "lease-race",
     "all-workers-die",
+    "serve-flaky",
 )
 
 
@@ -324,6 +329,15 @@ def named_fault_plan(name: str, seed: int = 0) -> FaultPlan:
         )
     elif name == "lease-race":
         sites = (FaultSite("spool.lease_race", times=2),)
+    elif name == "serve-flaky":
+        # The serve front-end drops fresh connections (workers and
+        # clients alike must reconnect on their retry schedule) and one
+        # RemoteStore round-trip times out mid-read; the drill gates on
+        # served predictions staying bit-identical to serial.
+        sites = (
+            FaultSite("serve.accept_drop", times=2),
+            FaultSite("remote_store.read_timeout", times=1),
+        )
     else:
         raise FaultError(
             f"unknown fault plan {name!r}; choose from {sorted(NAMED_PLANS)}"

@@ -1,0 +1,12 @@
+"""Attack-as-a-service: the persistent serving layer over the job bus.
+
+:class:`~repro.serve.server.AttackServer` is the ``repro serve`` loop —
+a content-keyed request front end (memory LRU → artifact store →
+pipelined worker fleet, with in-flight coalescing) plus the remote end
+of :class:`repro.store.remote.RemoteStore`.  Clients live in
+:mod:`repro.client`.
+"""
+
+from repro.serve.server import AttackServer, ServeError, ServeStats
+
+__all__ = ["AttackServer", "ServeError", "ServeStats"]

@@ -1,0 +1,583 @@
+"""``repro serve`` — the long-running attack-as-a-service front end.
+
+One selector loop (reusing the :class:`repro.bus.socketbus._Server`
+plumbing and the length-prefixed codec frames of the job bus) owns three
+kinds of peers on a single listening port:
+
+* **clients** (:class:`repro.client.ServeClient`) submit content-keyed
+  requests: ``{op: submit, key, job, wait}`` where *key* is exactly the
+  runner's :func:`~repro.store.artifacts.attack_store_key` address and
+  *job* is the :func:`~repro.bus.protocol.encode_job` payload.  The
+  server answers ``{op: accepted, status}`` immediately and a
+  ``{op: result, ...}`` frame when the artifact exists (``wait=True``).
+* **workers** (``repro worker --serve-addr``) announce themselves with
+  ``{op: hello, role: worker, pipeline: N}`` and then receive **pushed**
+  ``{op: job, ...}`` frames, up to *pipeline* in flight per connection —
+  the worker executes serially, but the next job is already buffered in
+  its socket when the current one finishes, so the lease round-trip of
+  the per-job :class:`~repro.bus.socketbus.SocketBus` disappears.
+* **remote stores** (:class:`repro.store.remote.RemoteStore`) read and
+  write raw artifact blobs (``store-get`` / ``store-put`` /
+  ``store-has``) against the server's on-disk
+  :class:`~repro.store.ArtifactStore`, so workers and clients on other
+  hosts need no shared filesystem.
+
+The warm path is three tiers: an in-memory LRU of decoded result
+payloads, then the on-disk store, then scheduling.  An identical request
+already executing **coalesces** — K clients asking for one key train it
+exactly once and all receive the result frame.  Failure semantics follow
+the bus: a failed attempt requeues until ``max_attempts``, a dead worker
+connection requeues its whole in-flight window, and a worker fleet
+silent for longer than the liveness deadline fails queued jobs over to
+in-process execution (one at a time, on a helper thread) instead of
+hanging clients forever.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import traceback
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+
+from repro import faults
+from repro.bus.protocol import (
+    DEFAULT_LIVENESS,
+    DEFAULT_MAX_ATTEMPTS,
+    DEFAULT_PIPELINE,
+    DEFAULT_POLL,
+    RetryPolicy,
+    decode_job,
+    job_artifact_kind,
+)
+from repro.bus.socketbus import _Connection, _Server
+from repro.errors import ReproError
+from repro.store import ArtifactStore, resolve_store
+
+__all__ = ["AttackServer", "ServeError", "ServeStats"]
+
+#: In-memory result-cache size (decoded artifact payloads).
+DEFAULT_CACHE_ENTRIES = 256
+
+
+class ServeError(ReproError):
+    """The serve endpoint refused or could not satisfy a request."""
+
+
+@dataclass
+class ServeStats:
+    """Counters for one server lifetime (mirrored into CI summaries).
+
+    ``scheduled`` counts *unique* jobs that went to the worker fleet —
+    the coalescing tests assert ``scheduled == 1`` while ``requests``
+    counts every client submit, and ``memory_hits + store_hits`` are the
+    warm tiers that answered without touching the fleet.
+    """
+
+    requests: int = 0
+    memory_hits: int = 0
+    store_hits: int = 0
+    coalesced: int = 0
+    scheduled: int = 0
+    completed: int = 0
+    failed: int = 0
+    requeues: int = 0
+    failed_over: int = 0
+    store_gets: int = 0
+    store_puts: int = 0
+
+    def as_payload(self) -> dict:
+        return {
+            "requests": self.requests,
+            "memory_hits": self.memory_hits,
+            "store_hits": self.store_hits,
+            "coalesced": self.coalesced,
+            "scheduled": self.scheduled,
+            "completed": self.completed,
+            "failed": self.failed,
+            "requeues": self.requeues,
+            "failed_over": self.failed_over,
+            "store_gets": self.store_gets,
+            "store_puts": self.store_puts,
+        }
+
+    def summary(self) -> str:
+        text = (
+            f"requests={self.requests} "
+            f"hits={self.memory_hits}+{self.store_hits} "
+            f"coalesced={self.coalesced} scheduled={self.scheduled} "
+            f"completed={self.completed} failed={self.failed} "
+            f"requeues={self.requeues}"
+        )
+        if self.failed_over:
+            text += f" failed-over={self.failed_over}"
+        return text
+
+
+class _ServeListener(_Server):
+    """The serve socket front end: accepts honor ``serve.accept_drop``."""
+
+    def _accepted(self, sock) -> bool:
+        return faults.fire("serve.accept_drop") is None
+
+
+@dataclass
+class _Request:
+    """One unique in-flight key and everyone waiting on it."""
+
+    key: str
+    job: dict  # encoded job payload (the wire/spool shape)
+    kind: str  # artifact store kind the result lands under
+    attempt: int = 0
+    failing_over: bool = False
+    waiters: list[_Connection] = field(default_factory=list)
+
+
+@dataclass
+class _WorkerLink:
+    """Server-side state of one persistent pipelined worker connection."""
+
+    pipeline: int
+    inflight: deque = field(default_factory=deque)  # keys, dispatch order
+
+
+class AttackServer:
+    """The ``repro serve`` loop: warm cache, store, coalescing, fleet."""
+
+    def __init__(
+        self,
+        address: str,
+        store: "ArtifactStore | str | os.PathLike",
+        max_attempts: int | None = None,
+        liveness: float | None = DEFAULT_LIVENESS,
+        poll: float = DEFAULT_POLL,
+        cache_entries: int = DEFAULT_CACHE_ENTRIES,
+        retry: RetryPolicy | None = None,
+        log=print,
+    ) -> None:
+        resolved = resolve_store(store)
+        if not isinstance(resolved, ArtifactStore):
+            raise ServeError(
+                "repro serve needs a local artifact store directory "
+                "(it *is* the remote end of remote:// stores)"
+            )
+        self.store = resolved
+        self.retry = retry if retry is not None else RetryPolicy.from_env()
+        self._server = _ServeListener(
+            address, read_timeout=self.retry.read_timeout
+        )
+        self.address = self._server.address
+        self.poll = float(poll)
+        self.max_attempts = int(
+            DEFAULT_MAX_ATTEMPTS if max_attempts is None else max_attempts
+        )
+        self.liveness = float(liveness) if liveness else None
+        self.log = log
+        self.stats = ServeStats()
+        self.requests: dict[str, _Request] = {}
+        self.queue: deque[str] = deque()  # keys awaiting dispatch
+        self.workers: dict[_Connection, _WorkerLink] = {}
+        self._cache: OrderedDict[tuple[str, str], dict] = OrderedDict()
+        self._cache_entries = int(cache_entries)
+        self._inbox: deque = deque()  # fail-over thread -> loop
+        self._inbox_lock = threading.Lock()
+        self._failover_busy = False
+        self._stop = False
+
+    # -- the loop ------------------------------------------------------------
+    def serve_forever(
+        self,
+        idle_timeout: float | None = None,
+        max_requests: int | None = None,
+    ) -> ServeStats:
+        """Run until shut down over the wire, idle, or *max_requests*.
+
+        *idle_timeout* counts seconds with no frames and no outstanding
+        requests (``None`` = forever); *max_requests* stops once that
+        many submits have been taken **and** all of them settled — both
+        are test/bench conveniences, the daemon deployment uses neither.
+        """
+        last_activity = time.monotonic()
+        last_progress = last_activity
+        try:
+            while not self._stop:
+                events = self._server.poll(self.poll)
+                for connection, messages in events:
+                    if messages is None:
+                        self._disconnect(connection)
+                        continue
+                    for message in messages:
+                        self._handle(connection, message)
+                self._drain_inbox()
+                self._pump()
+                now = time.monotonic()
+                busy = self._failover_busy or any(
+                    link.inflight for link in self.workers.values()
+                )
+                if events or busy:
+                    last_activity = last_progress = now
+                elif self.queue:
+                    if (
+                        self.liveness is not None
+                        and now - last_progress > self.liveness
+                    ):
+                        self._start_failover()
+                else:
+                    last_progress = now
+                if (
+                    max_requests is not None
+                    and self.stats.requests >= max_requests
+                    and not self.requests
+                ):
+                    break
+                if (
+                    idle_timeout is not None
+                    and not self.requests
+                    and now - last_activity > idle_timeout
+                ):
+                    break
+        except KeyboardInterrupt:  # pragma: no cover - interactive stop
+            pass
+        return self.stats
+
+    def close(self) -> None:
+        self._server.close()
+
+    # -- message dispatch ----------------------------------------------------
+    def _handle(self, connection: _Connection, message: dict) -> None:
+        op = message.get("op")
+        if op == "submit":
+            self._handle_submit(connection, message)
+        elif op == "wait":
+            self._handle_wait(connection, message)
+        elif op == "hello":
+            pipeline = max(1, int(message.get("pipeline", DEFAULT_PIPELINE)))
+            self.workers[connection] = _WorkerLink(pipeline=pipeline)
+            self.log(
+                f"serve: worker connected (pipeline {pipeline}, "
+                f"{len(self.workers)} total)"
+            )
+        elif op == "done":
+            self._handle_done(connection, message)
+        elif op == "failed":
+            key = str(message["key"])
+            self._worker_settled(connection, key)
+            self._fail_attempt(key, str(message.get("traceback", "")))
+        elif op == "store-has":
+            kind, key = str(message["kind"]), str(message["key"])
+            connection.send(
+                {"op": "store-has", "key": key, "has": self.store.has(kind, key)}
+            )
+        elif op == "store-get":
+            self._handle_store_get(connection, message)
+        elif op == "store-put":
+            self._handle_store_put(connection, message)
+        elif op == "stats":
+            connection.send({"op": "stats", "stats": self.stats.as_payload()})
+        elif op == "ping":
+            connection.send({"op": "pong"})
+        elif op == "shutdown":
+            connection.send({"op": "bye"})
+            self._stop = True
+        # unknown ops are ignored: wire compatibility over strictness
+
+    def _handle_submit(self, connection: _Connection, message: dict) -> None:
+        key = str(message["key"])
+        wait = bool(message.get("wait", False))
+        job_payload = message["job"]
+        kind = job_artifact_kind(
+            str(job_payload.get("kind", "attack"))
+            if isinstance(job_payload, dict)
+            else "attack"
+        )
+        self.stats.requests += 1
+        payload = self._lookup(kind, key)
+        if payload is not None:
+            connection.send({"op": "accepted", "key": key, "status": "hit"})
+            if wait:
+                self._send_result(connection, key, kind, payload)
+            return
+        request = self.requests.get(key)
+        if request is not None:
+            self.stats.coalesced += 1
+            if wait:
+                request.waiters.append(connection)
+            connection.send(
+                {"op": "accepted", "key": key, "status": "coalesced"}
+            )
+            return
+        request = _Request(key=key, job=job_payload, kind=kind)
+        if wait:
+            request.waiters.append(connection)
+        self.requests[key] = request
+        self.queue.append(key)
+        self.stats.scheduled += 1
+        connection.send({"op": "accepted", "key": key, "status": "queued"})
+
+    def _handle_wait(self, connection: _Connection, message: dict) -> None:
+        key = str(message["key"])
+        kind = str(message.get("kind", "attacks"))
+        payload = self._lookup(kind, key, count_request=False)
+        if payload is not None:
+            self._send_result(connection, key, kind, payload)
+            return
+        request = self.requests.get(key)
+        if request is not None:
+            request.waiters.append(connection)
+            return
+        connection.send(
+            {
+                "op": "result",
+                "key": key,
+                "ok": False,
+                "error": f"unknown request key {key[:12]}… (never submitted?)",
+            }
+        )
+
+    def _handle_done(self, connection: _Connection, message: dict) -> None:
+        key = str(message["key"])
+        self._worker_settled(connection, key)
+        request = self.requests.get(key)
+        if request is None:
+            return  # settled elsewhere (fail-over raced a live worker)
+        self._complete(key, message["result"])
+
+    def _handle_store_get(self, connection: _Connection, message: dict) -> None:
+        import numpy as np
+
+        kind, key = str(message["kind"]), str(message["key"])
+        self.stats.store_gets += 1
+        try:
+            blob = self.store.path_for(kind, key).read_bytes()
+        except (FileNotFoundError, OSError):
+            connection.send(
+                {"op": "store-blob", "key": key, "found": False, "blob": None}
+            )
+            return
+        connection.send(
+            {
+                "op": "store-blob",
+                "key": key,
+                "found": True,
+                # codec payloads carry no raw bytes: ship the file image
+                # as a uint8 array, byte-for-byte what the store holds.
+                "blob": np.frombuffer(blob, dtype=np.uint8),
+            }
+        )
+
+    def _handle_store_put(self, connection: _Connection, message: dict) -> None:
+        from repro.store import codec
+
+        kind, key = str(message["kind"]), str(message["key"])
+        self.stats.store_puts += 1
+        blob = message["blob"]
+        try:
+            payload = codec.loads(blob.tobytes(), kind=kind)
+            self.store.put(kind, key, payload)
+        except Exception as exc:
+            connection.send(
+                {"op": "store-ok", "key": key, "ok": False, "error": str(exc)}
+            )
+            return
+        connection.send({"op": "store-ok", "key": key, "ok": True})
+
+    # -- warm tiers ----------------------------------------------------------
+    def _lookup(
+        self, kind: str, key: str, count_request: bool = True
+    ) -> dict | None:
+        """Memory tier, then store tier; ``None`` = genuinely cold."""
+        cached = self._cache.get((kind, key))
+        if cached is not None:
+            self._cache.move_to_end((kind, key))
+            if count_request:
+                self.stats.memory_hits += 1
+            return cached
+        payload = self.store.get(kind, key) if self.store.has(kind, key) else None
+        if payload is None:
+            return None  # miss, or corrupt (store warned); recompute
+        if count_request:
+            self.stats.store_hits += 1
+        self._cache_put(kind, key, payload)
+        return payload
+
+    def _cache_put(self, kind: str, key: str, payload: dict) -> None:
+        self._cache[(kind, key)] = payload
+        self._cache.move_to_end((kind, key))
+        while len(self._cache) > self._cache_entries:
+            self._cache.popitem(last=False)
+
+    # -- fleet ---------------------------------------------------------------
+    def _pump(self) -> None:
+        """Push queued keys onto the least-loaded worker with free depth."""
+        while self.queue:
+            picked: tuple[_Connection, _WorkerLink] | None = None
+            for connection, link in self.workers.items():
+                if len(link.inflight) >= link.pipeline:
+                    continue
+                if picked is None or len(link.inflight) < len(
+                    picked[1].inflight
+                ):
+                    picked = (connection, link)
+            if picked is None:
+                return  # fleet at capacity (or empty)
+            if (
+                len(self.workers) > 1
+                and picked[1].inflight
+                and len(self.queue) <= len(self.workers)
+            ):
+                # Tail-aware depth: buffering a second job behind a
+                # busy worker hides the dispatch round-trip while the
+                # queue can still keep every worker fed, but near the
+                # end of the queue it locks jobs onto workers early and
+                # forfeits the pull scheduler's natural load balance —
+                # with millisecond dispatch and 100ms-plus jobs the
+                # lock-in costs more than the round-trip it hides.
+                return
+            key = self.queue.popleft()
+            request = self.requests.get(key)
+            if request is None or request.failing_over:
+                continue  # settled (or adopted by fail-over) while queued
+            connection, link = picked
+            if not connection.send(
+                {
+                    "op": "job",
+                    "key": key,
+                    "attempt": request.attempt,
+                    "job": request.job,
+                }
+            ):
+                self.queue.appendleft(key)
+                self._disconnect(connection)
+                continue
+            link.inflight.append(key)
+
+    def _worker_settled(self, connection: _Connection, key: str) -> None:
+        link = self.workers.get(connection)
+        if link is not None:
+            try:
+                link.inflight.remove(key)
+            except ValueError:
+                pass
+
+    def _disconnect(self, connection: _Connection) -> None:
+        link = self.workers.pop(connection, None)
+        if link is not None and link.inflight:
+            self.log(
+                f"serve: worker connection lost with "
+                f"{len(link.inflight)} job(s) in flight — requeueing"
+            )
+            for key in list(link.inflight):
+                self._fail_attempt(key, "worker connection lost mid-job")
+        for request in self.requests.values():
+            request.waiters = [
+                w for w in request.waiters if w is not connection
+            ]
+        self._server.drop(connection)
+
+    # -- settle --------------------------------------------------------------
+    def _complete(self, key: str, payload: dict) -> None:
+        request = self.requests.pop(key, None)
+        if request is None:
+            return
+        self.store.put(request.kind, key, payload)
+        self._cache_put(request.kind, key, payload)
+        self.stats.completed += 1
+        for waiter in request.waiters:
+            self._send_result(waiter, key, request.kind, payload)
+        self.log(f"serve: completed {key[:12]}…")
+
+    def _fail_attempt(self, key: str, error: str) -> None:
+        request = self.requests.get(key)
+        if request is None:
+            return
+        request.attempt += 1
+        if request.attempt >= self.max_attempts:
+            self.requests.pop(key)
+            try:
+                self.queue.remove(key)
+            except ValueError:
+                pass
+            self.stats.failed += 1
+            self.log(
+                f"serve: {key[:12]}… failed terminally after "
+                f"{request.attempt} attempt(s)"
+            )
+            for waiter in request.waiters:
+                waiter.send(
+                    {"op": "result", "key": key, "ok": False, "error": error}
+                )
+        else:
+            self.stats.requeues += 1
+            if key not in self.queue:
+                self.queue.append(key)
+
+    def _send_result(
+        self, connection: _Connection, key: str, kind: str, payload: dict
+    ) -> None:
+        connection.send(
+            {
+                "op": "result",
+                "key": key,
+                "ok": True,
+                "kind": kind,
+                "result": payload,
+            }
+        )
+
+    # -- graceful degradation ------------------------------------------------
+    def _start_failover(self) -> None:
+        """No live fleet and the liveness deadline passed: degrade.
+
+        One queued key at a time executes on a helper thread (so the
+        loop keeps answering pings, submits and store ops) and settles
+        through the inbox.  A worker fleet coming back mid-fail-over
+        simply picks up the rest of the queue.
+        """
+        if self._failover_busy or not self.queue:
+            return
+        key = self.queue.popleft()
+        request = self.requests.get(key)
+        if request is None:
+            return
+        request.failing_over = True
+        self._failover_busy = True
+        self.stats.failed_over += 1
+        self.log(
+            f"serve: no worker progress for {self.liveness:.0f}s — "
+            f"executing {key[:12]}… in-process"
+        )
+        job_payload = request.job
+
+        def _run() -> None:
+            try:
+                from repro.experiments.runner import execute_job
+
+                payload = execute_job(decode_job(job_payload))
+                outcome = (key, payload, None)
+            except Exception:
+                outcome = (key, None, traceback.format_exc())
+            with self._inbox_lock:
+                self._inbox.append(outcome)
+            self._failover_busy = False
+
+        threading.Thread(target=_run, daemon=True).start()
+
+    def _drain_inbox(self) -> None:
+        while True:
+            with self._inbox_lock:
+                if not self._inbox:
+                    return
+                key, payload, error = self._inbox.popleft()
+            request = self.requests.get(key)
+            if request is not None:
+                request.failing_over = False
+            if payload is not None:
+                self._complete(key, payload)
+            else:
+                # In-process execution is the last resort — a failure
+                # here is terminal regardless of the attempt budget.
+                if request is not None:
+                    request.attempt = self.max_attempts - 1
+                self._fail_attempt(key, error or "fail-over execution failed")

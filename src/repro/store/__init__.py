@@ -60,6 +60,7 @@ from repro.store.codec import CodecError
 
 __all__ = [
     "ArtifactStore",
+    "REMOTE_SCHEME",
     "SCHEMA_VERSION",
     "StoreEntry",
     "StoreStats",
@@ -87,6 +88,11 @@ SCHEMA_VERSION = 1
 
 #: Environment variable pointing runners / benches / the CLI at a store.
 STORE_ENV = "REPRO_STORE"
+
+#: Store-path prefix selecting the network-backed store:
+#: ``remote://host:port`` opens a :class:`repro.store.remote.RemoteStore`
+#: speaking the serve wire protocol instead of a local directory.
+REMOTE_SCHEME = "remote://"
 
 
 @dataclass
@@ -356,8 +362,10 @@ def resolve_store(
     """Resolve a store argument: instance, path, or the environment.
 
     ``None`` consults ``REPRO_STORE`` (empty/unset means *no store*), a
-    string/path opens that directory, and an :class:`ArtifactStore`
-    passes through — the scheme every entry point shares
+    string/path opens that directory, ``remote://host:port`` opens a
+    :class:`~repro.store.remote.RemoteStore` against a ``repro serve``
+    process, and an :class:`ArtifactStore` passes through — the scheme
+    every entry point shares
     (:class:`~repro.experiments.runner.ExperimentRunner`,
     ``repro figures --store``, the bench suite).
     """
@@ -365,6 +373,16 @@ def resolve_store(
         return store
     if store is None:
         env = os.environ.get(STORE_ENV, "").strip()
-        return ArtifactStore(env) if env else None
+        store = env if env else None
+        if store is None:
+            return None
     text = os.fspath(store).strip()
-    return ArtifactStore(text) if text else None
+    if not text:
+        return None
+    if text.startswith(REMOTE_SCHEME):
+        # Late import: repro.store.remote pulls in the bus wire helpers,
+        # which import this module back.
+        from repro.store.remote import RemoteStore
+
+        return RemoteStore(text[len(REMOTE_SCHEME) :])
+    return ArtifactStore(text)

@@ -1,0 +1,392 @@
+"""Attack-as-a-service: coalescing, pipelining, remote store, parity.
+
+The cheap tests drive a real :class:`AttackServer` loop with a
+*hand-rolled* worker socket (the test speaks the worker wire protocol
+itself), so scheduling semantics — coalescing, pipeline depth, requeue
+and terminal failure, disconnect recovery — are asserted without
+training anything.  One expensive test runs the full stack (server +
+pipelined ``run_worker`` thread + :class:`ServeClient`) on a real smoke
+job and asserts the served artifact is bit-identical to a serial
+:func:`execute_job` run.
+"""
+
+import socket as socketlib
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.bus.socketbus import parse_address, recv_message, send_message
+from repro.client import ServeClient
+from repro.experiments import SMOKE_SCALE, make_cell
+from repro.experiments.runner import AttackJob, execute_job
+from repro.faults import FaultPlan, FaultSite, RetryPolicy
+from repro.serve import AttackServer, ServeError
+from repro.store import resolve_store
+from repro.store.remote import RemoteStore
+
+_FAST = RetryPolicy(base_delay=0.01, max_delay=0.05, connect_timeout=5.0,
+                    read_timeout=20.0)
+
+
+@pytest.fixture
+def server(tmp_path):
+    """A live server loop on an ephemeral port, joined at teardown."""
+    srv = AttackServer(
+        "127.0.0.1:0", tmp_path / "store", poll=0.02, log=lambda *a: None
+    )
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    client = ServeClient(srv.address, retry=_FAST)
+    try:
+        client.shutdown()
+    except ServeError:  # pragma: no cover - already stopped
+        pass
+    thread.join(timeout=10)
+    srv.close()
+
+
+def _job(key: str = "a" * 16) -> AttackJob:
+    cell = make_cell(SMOKE_SCALE, "c1355", 0.1, "D-MUX", 6, seed=0)
+    return AttackJob(store_key=key, circuit={"fake": 1}, config=cell.config)
+
+
+class _Peer:
+    """A raw protocol speaker: client or hand-rolled worker."""
+
+    def __init__(self, address: str):
+        host, port = parse_address(address)
+        self.sock = socketlib.create_connection((host, port), timeout=10)
+        self.sock.settimeout(10)
+
+    def send(self, payload: dict) -> None:
+        send_message(self.sock, payload)
+
+    def recv(self) -> dict | None:
+        return recv_message(self.sock)
+
+    def close(self) -> None:
+        self.sock.close()
+
+    # -- as a worker ---------------------------------------------------------
+    def hello(self, pipeline: int) -> "_Peer":
+        self.send({"op": "hello", "role": "worker", "pipeline": pipeline})
+        return self
+
+    # -- as a client ---------------------------------------------------------
+    def submit(self, job: AttackJob, wait: bool = True) -> str:
+        from repro.bus.protocol import encode_job
+
+        self.send(
+            {
+                "op": "submit",
+                "key": job.store_key,
+                "job": encode_job(job),
+                "wait": wait,
+            }
+        )
+        reply = self.recv()
+        assert reply is not None and reply["op"] == "accepted"
+        return str(reply["status"])
+
+
+def test_coalescing_trains_exactly_once(server):
+    """K identical concurrent submits schedule ONE job; everyone gets
+    the result frame; the store is written once."""
+    job = _job()
+    clients = [_Peer(server.address) for _ in range(3)]
+    statuses = [c.submit(job, wait=True) for c in clients]
+    assert statuses == ["queued", "coalesced", "coalesced"]
+
+    worker = _Peer(server.address).hello(pipeline=2)
+    pushed = worker.recv()
+    assert pushed is not None and pushed["op"] == "job"
+    assert pushed["key"] == job.store_key and pushed["attempt"] == 0
+    result = {"answer": np.arange(4, dtype=np.float64)}
+    worker.send(
+        {"op": "done", "key": job.store_key, "kind": "attacks",
+         "result": result}
+    )
+
+    for client in clients:
+        frame = client.recv()
+        assert frame is not None and frame["op"] == "result" and frame["ok"]
+        np.testing.assert_array_equal(frame["result"]["answer"],
+                                      result["answer"])
+        client.close()
+    assert server.store.stats.writes == 1
+    assert server.stats.scheduled == 1
+    assert server.stats.coalesced == 2
+    assert server.stats.completed == 1
+
+    # Warm resubmit: answered from the memory tier, fleet untouched.
+    warm = _Peer(server.address)
+    assert warm.submit(job, wait=False) == "hit"
+    assert server.stats.memory_hits == 1
+    assert server.stats.scheduled == 1
+    warm.close()
+    worker.close()
+
+
+def test_pipeline_keeps_multiple_jobs_in_flight(server):
+    """One worker connection buffers up to `pipeline` jobs — the next
+    job is already in its socket before the current one is acked."""
+    worker = _Peer(server.address).hello(pipeline=2)
+    client = _Peer(server.address)
+    keys = ["a" * 16, "b" * 16, "c" * 16]
+    for key in keys:
+        client.submit(_job(key), wait=False)
+
+    first, second = worker.recv(), worker.recv()
+    assert {first["key"], second["key"]} == set(keys[:2])
+    # Depth 2 reached without any ack; the third waits for a free slot.
+    (link,) = server.workers.values()
+    assert sorted(link.inflight) == sorted(keys[:2])
+    worker.send({"op": "done", "key": first["key"], "kind": "attacks",
+                 "result": {"x": 1}})
+    third = worker.recv()
+    assert third is not None and third["key"] == keys[2]
+    worker.close()
+    client.close()
+
+
+def test_failed_attempts_requeue_then_turn_terminal(tmp_path):
+    srv = AttackServer(
+        "127.0.0.1:0", tmp_path / "store", max_attempts=2, poll=0.02,
+        log=lambda *a: None,
+    )
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    try:
+        job = _job()
+        client = _Peer(srv.address)
+        assert client.submit(job, wait=True) == "queued"
+        worker = _Peer(srv.address).hello(pipeline=1)
+
+        pushed = worker.recv()
+        assert pushed["attempt"] == 0
+        worker.send({"op": "failed", "key": job.store_key,
+                     "traceback": "boom one"})
+        retried = worker.recv()  # requeued: the attempt budget has room
+        assert retried["key"] == job.store_key and retried["attempt"] == 1
+        worker.send({"op": "failed", "key": job.store_key,
+                     "traceback": "boom two"})
+
+        frame = client.recv()  # terminal: the waiter hears the failure
+        assert frame["op"] == "result" and not frame["ok"]
+        assert "boom two" in frame["error"]
+        assert srv.stats.requeues == 1 and srv.stats.failed == 1
+        worker.close()
+        client.close()
+    finally:
+        ServeClient(srv.address, retry=_FAST).shutdown()
+        thread.join(timeout=10)
+        srv.close()
+
+
+def test_dead_worker_connection_requeues_its_window(server):
+    client = _Peer(server.address)
+    job = _job()
+    client.submit(job, wait=True)
+    victim = _Peer(server.address).hello(pipeline=1)
+    assert victim.recv()["key"] == job.store_key
+    victim.close()  # dies mid-job: the in-flight window must requeue
+
+    relief = _Peer(server.address).hello(pipeline=1)
+    pushed = relief.recv()
+    assert pushed["key"] == job.store_key and pushed["attempt"] == 1
+    relief.send({"op": "done", "key": job.store_key, "kind": "attacks",
+                 "result": {"x": 1}})
+    frame = client.recv()
+    assert frame["op"] == "result" and frame["ok"]
+    assert server.stats.requeues == 1
+    relief.close()
+    client.close()
+
+
+def test_wait_for_unknown_key_fails_fast(server):
+    client = ServeClient(server.address, retry=_FAST)
+    with pytest.raises(ServeError, match="never submitted"):
+        client.result("f" * 16)
+    client.close()
+
+
+def test_accept_drop_is_absorbed_by_client_retry(server):
+    faults.activate(
+        FaultPlan(
+            "drop", sites=(FaultSite("serve.accept_drop", times=1),)
+        )
+    )
+    try:
+        client = ServeClient(server.address, retry=_FAST)
+        assert client.ping()  # first accept dropped; reconnect wins
+        client.close()
+        assert faults.fired_counts() == {"serve.accept_drop": 1}
+    finally:
+        faults.deactivate()
+
+
+# ---------------------------------------------------------------------------
+# The expensive end of the contract: real training, bit-identical.
+# ---------------------------------------------------------------------------
+def _fingerprint(payload: dict):
+    def canon(value):
+        if isinstance(value, dict):
+            return tuple(sorted((k, canon(v)) for k, v in value.items()))
+        if isinstance(value, (list, tuple)):
+            return tuple(canon(v) for v in value)
+        if isinstance(value, np.ndarray):
+            return (str(value.dtype), value.shape, value.tobytes())
+        return value
+
+    return canon({k: v for k, v in payload.items()
+                  if k != "runtime_seconds"})
+
+
+def test_served_attack_bit_identical_to_serial(tmp_path):
+    from repro.benchgen import load_benchmark
+    from repro.bus.worker import run_worker
+    from repro.experiments.common import lock_with
+
+    cell = make_cell(SMOKE_SCALE, "c1355", 0.1, "D-MUX", 6, seed=0)
+    base = load_benchmark(cell.benchmark, scale=cell.circuit_scale)
+    locked = lock_with(cell.scheme, base, key_size=cell.key_size,
+                       seed=cell.lock_seed)
+    job = ServeClient.job_for(locked.circuit, cell.config)
+    reference = _fingerprint(execute_job(job))
+
+    srv = AttackServer("127.0.0.1:0", tmp_path / "store", poll=0.02,
+                       log=lambda *a: None)
+    loop = threading.Thread(target=srv.serve_forever, daemon=True)
+    loop.start()
+    worker = threading.Thread(
+        target=run_worker,
+        kwargs=dict(serve_addr=srv.address, poll=0.02, max_jobs=1,
+                    pipeline=2, log=lambda *a: None),
+        daemon=True,
+    )
+    worker.start()
+    try:
+        client = ServeClient(srv.address, retry=_FAST)
+        key, status = client.submit(locked.circuit, cell.config)
+        assert status == "queued" and key == job.store_key
+        client.result(key, timeout=240)  # blocks until trained
+        served = _fingerprint(srv.store.get("attacks", key))
+        assert served == reference  # bit-identical, timing aside
+        assert srv.stats.requeues == 0 and srv.stats.failed == 0
+
+        # Warm: the same request never reaches the fleet again.
+        _, warm_status = client.submit(locked.circuit, cell.config)
+        assert warm_status == "hit"
+        client.shutdown()
+    finally:
+        loop.join(timeout=30)
+        worker.join(timeout=30)
+        srv.close()
+
+
+# ---------------------------------------------------------------------------
+# RemoteStore: the network half of the store seam.
+# ---------------------------------------------------------------------------
+def test_remote_store_roundtrip_and_byte_cache(server):
+    remote = RemoteStore(server.address, retry=_FAST)
+    payload = {"bits": np.arange(8, dtype=np.float64), "n": 3}
+    assert not remote.has("attacks", "k" * 16)
+    remote.put("attacks", "k" * 16, payload)
+    assert remote.has("attacks", "k" * 16)
+    assert server.store.has("attacks", "k" * 16)  # persisted server-side
+
+    first = remote.get("attacks", "k" * 16)
+    np.testing.assert_array_equal(first["bits"], payload["bits"])
+    gets_after_first = server.stats.store_gets
+    # Second read decodes from the client byte cache: no network round
+    # trip, so the server-side counter must not move.
+    again = remote.get("attacks", "k" * 16)
+    assert again["n"] == 3
+    assert server.stats.store_gets == gets_after_first
+    assert remote.stats.hits == 2 and remote.stats.writes == 1
+    remote.close()
+
+
+def test_remote_store_cache_evicts_by_total_bytes(server):
+    big = {"x": np.zeros(4096, dtype=np.float64)}
+    remote = RemoteStore(server.address, retry=_FAST, cache_bytes=40_000)
+    remote.put("attacks", "a" * 16, big)
+    remote.put("attacks", "b" * 16, big)  # evicts a's blob
+    assert len(remote._cache) == 1
+    before = server.stats.store_gets
+    remote.get("attacks", "a" * 16)  # must go back to the network
+    assert server.stats.store_gets == before + 1
+    remote.close()
+
+
+def test_remote_store_corrupt_blob_reads_as_miss(server):
+    path = server.store.path_for("attacks", "bad0" * 4)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(b"not an artifact")
+    remote = RemoteStore(server.address, retry=_FAST)
+    with pytest.warns(RuntimeWarning, match="discarding unreadable"):
+        assert remote.get("attacks", "bad0" * 4) is None
+    assert remote.stats.errors == 1 and remote.stats.misses == 1
+    remote.close()
+
+
+def test_resolve_store_understands_remote_scheme(server):
+    store = resolve_store(f"remote://{server.address}")
+    assert isinstance(store, RemoteStore)
+    assert store.root == f"remote://{server.address}"
+    store.close()
+
+
+def test_injected_read_timeout_is_retried(server):
+    remote = RemoteStore(server.address, retry=_FAST)
+    remote.put("attacks", "c" * 16, {"n": 1})
+    remote._cache.clear()
+    remote._cache_bytes = 0
+    faults.activate(
+        FaultPlan(
+            "timeout",
+            sites=(FaultSite("remote_store.read_timeout", times=1),),
+        )
+    )
+    try:
+        assert remote.get("attacks", "c" * 16)["n"] == 1  # retried through
+        assert faults.fired_counts() == {"remote_store.read_timeout": 1}
+    finally:
+        faults.deactivate()
+    remote.close()
+
+
+# ---------------------------------------------------------------------------
+# Batched spool leasing (satellite): one scan, N leases.
+# ---------------------------------------------------------------------------
+def test_lease_batch_claims_up_to_limit(tmp_path):
+    from repro.bus import SpoolDir, encode_job
+
+    spool = SpoolDir(tmp_path)
+    for key in ("k1", "k2", "k3"):
+        spool.enqueue(key, encode_job(_job("a" * 16)))
+    batch = spool.lease_batch(2)
+    assert [key for key, _ in batch] == ["k1", "k2"]
+    assert spool.pending_keys() == ["k3"]
+    assert sorted(spool.leased_keys()) == ["k1", "k2"]
+    rest = spool.lease_batch(10)  # fewer pending than the limit is fine
+    assert [key for key, _ in rest] == ["k3"]
+    assert spool.lease_batch(2) == []  # drained
+
+    with pytest.raises(ValueError):
+        spool.lease_batch(0)
+
+
+def test_lease_batch_quarantines_poison_without_losing_the_batch(tmp_path):
+    from repro.bus import SpoolDir, encode_job
+
+    spool = SpoolDir(tmp_path)
+    spool.enqueue("good", encode_job(_job("a" * 16)))
+    spool.pending_dir.joinpath("bad.npz").write_bytes(b"not a job")
+    batch = spool.lease_batch(5)
+    assert [key for key, _ in batch] == ["good"]
+    assert spool.quarantined_keys() == ["bad"]
